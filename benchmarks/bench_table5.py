@@ -1,0 +1,16 @@
+"""Regenerate Table V: counter ratios between §V-B variant pairs."""
+
+import pytest
+
+from repro.core.tables import table5
+
+from benchmarks.conftest import bench_graphs, publish
+
+
+def test_table5_render(benchmark, results_dir):
+    rendered = benchmark.pedantic(table5, args=(bench_graphs(),),
+                                  rounds=1, iterations=1)
+    publish(results_dir, "table5", rendered)
+    # gb-res iterates the residual vector twice per round where ls-soa's
+    # fused loop passes once: instruction ratio > 1 (§V-B "pr").
+    assert rendered.data["pr gb-res/ls-soa"]["instructions"] > 1.0

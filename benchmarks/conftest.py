@@ -1,0 +1,50 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.  The
+cell grid is shared across the whole benchmark session through the
+experiment memo, and every rendered artifact is written to ``results/`` next
+to this directory (and printed, visible with ``pytest -s``).
+
+Environment knobs:
+
+* ``REPRO_BENCH_GRAPHS`` — comma-separated dataset names, or ``all``
+  (default: all nine paper graphs);
+* ``REPRO_BENCH_APPS`` — comma-separated application subset (default: all).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.systems import APPLICATIONS
+from repro.core.tables import GRAPH_ORDER
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_graphs():
+    raw = os.environ.get("REPRO_BENCH_GRAPHS", "all")
+    if raw == "all":
+        return list(GRAPH_ORDER)
+    return [g.strip() for g in raw.split(",") if g.strip()]
+
+
+def bench_apps():
+    raw = os.environ.get("REPRO_BENCH_APPS", "all")
+    if raw == "all":
+        return list(APPLICATIONS)
+    return [a.strip() for a in raw.split(",") if a.strip()]
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir, name: str, rendered) -> None:
+    """Write a rendered table/figure to results/ and stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(str(rendered) + "\n")
+    print(f"\n{rendered}\n[written to {path}]")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""A miniature of the paper's whole study, end to end.
+
+Runs the full three-system comparison (LAGraph/SuiteSparse, LAGraph/
+GaloisBLAS, Lonestar/Galois) over a subset of the nine input graphs and all
+six problems, prints a Table II-style grid with the fastest system starred,
+and summarizes the average speedups the paper headlines:
+
+* Lonestar ~5x faster than LAGraph/SuiteSparse,
+* GaloisBLAS ~1.4x faster than SuiteSparse,
+* Lonestar ~3.5x faster than GaloisBLAS.
+
+Run:  python examples/api_comparison_study.py [graph ...]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.experiments import OK, run_cell
+from repro.core.systems import APPLICATIONS, SYSTEMS
+
+DEFAULT_GRAPHS = ["road-USA-W", "rmat22", "eukarya"]
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    return float(np.exp(np.mean(np.log(values)))) if values else float("nan")
+
+
+def main(graphs):
+    print(f"systems: SS = LAGraph/SuiteSparse, GB = LAGraph/GaloisBLAS, "
+          f"LS = Lonestar/Galois")
+    print(f"graphs:  {', '.join(graphs)}\n")
+
+    header = f"{'':14s}" + "".join(f"{g:>14s}" for g in graphs)
+    print(header)
+    cells = {}
+    for app in APPLICATIONS:
+        for system in SYSTEMS:
+            row = []
+            for g in graphs:
+                cell = run_cell(system, app, g)
+                cells[(app, system, g)] = cell
+                text = cell.display()
+                if cell.status == OK:
+                    others = [cells.get((app, s, g)) for s in SYSTEMS]
+                    row.append(text)
+                else:
+                    row.append(text)
+            print(f"{app + ' ' + system:14s}" +
+                  "".join(f"{t:>14s}" for t in row))
+        print()
+
+    # Headline ratios (geomean over cells where both completed).
+    pairs = {"SS/LS": [], "SS/GB": [], "GB/LS": []}
+    for app in APPLICATIONS:
+        for g in graphs:
+            t = {s: cells[(app, s, g)] for s in SYSTEMS}
+            if all(c.status == OK for c in t.values()):
+                pairs["SS/LS"].append(t["SS"].seconds / t["LS"].seconds)
+                pairs["SS/GB"].append(t["SS"].seconds / t["GB"].seconds)
+                pairs["GB/LS"].append(t["GB"].seconds / t["LS"].seconds)
+
+    print("average speedups (geomean), paper's headline in parentheses:")
+    print(f"  Lonestar over SuiteSparse : {geomean(pairs['SS/LS']):5.2f}x  (~5x)")
+    print(f"  GaloisBLAS over SuiteSparse: {geomean(pairs['SS/GB']):5.2f}x  (~1.4x)")
+    print(f"  Lonestar over GaloisBLAS  : {geomean(pairs['GB/LS']):5.2f}x  (~3.5x)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT_GRAPHS)

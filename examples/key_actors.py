@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Key-actor detection via betweenness centrality (the paper's §I example).
+
+The paper opens with betweenness centrality — "find key actors in terrorist
+networks" or "important river confluence points".  This example builds a
+covert-network-like graph (tight cells bridged by a few couriers), computes
+Brandes centrality through both APIs, checks they agree, and shows that the
+couriers — not the highest-degree members — carry the highest centrality.
+
+It also shows the cost asymmetry on this problem: the matrix-API forward
+sweep must materialize one path-count vector per BFS level for the backward
+sweep, while the graph API keeps two flat arrays.
+
+Run:  python examples/key_actors.py
+"""
+
+import numpy as np
+
+import repro.graphblas as gb
+from repro.galois.graph import Graph
+from repro.galoisblas import GaloisBLASBackend
+from repro.lagraph import betweenness_centrality as matrix_bc
+from repro.lonestar import betweenness_centrality as graph_bc
+from repro.perf.machine import Machine
+from repro.runtime.galois_rt import GaloisRuntime
+from repro.sparse.csr import build_csr
+
+N_CELLS = 8
+CELL_SIZE = 24
+
+
+def build_covert_network(seed=3):
+    """Dense cells; one courier per adjacent cell pair bridges them."""
+    rng = np.random.default_rng(seed)
+    n = N_CELLS * CELL_SIZE
+    src, dst = [], []
+    couriers = []
+    for c in range(N_CELLS):
+        base = c * CELL_SIZE
+        # Dense intra-cell communication.
+        for _ in range(CELL_SIZE * 5):
+            a, b = rng.integers(0, CELL_SIZE, 2)
+            if a != b:
+                src.append(base + a)
+                dst.append(base + b)
+        # The courier: first member of each cell talks to the next cell's.
+        nxt = ((c + 1) % N_CELLS) * CELL_SIZE
+        couriers.append(base)
+        src += [base, nxt]
+        dst += [nxt, base]
+    csr = build_csr(n, n, np.array(src), np.array(dst), None, dedup="last")
+    return csr, couriers
+
+
+def main():
+    csr, couriers = build_covert_network()
+    n = csr.nrows
+    sources = list(range(n))  # exact centrality
+    print(f"covert network: {N_CELLS} cells x {CELL_SIZE} members, "
+          f"|E|={csr.nvals:,}; couriers at {couriers}\n")
+
+    machine_g = Machine()
+    graph = Graph(GaloisRuntime(machine_g), csr, name="covert")
+    machine_g.reset_measurement()
+    scores_g = graph_bc(graph, sources)
+
+    machine_m = Machine()
+    backend = GaloisBLASBackend(machine_m)
+    A = gb.Matrix.from_csr(backend, gb.BOOL, csr, label="covert")
+    machine_m.reset_measurement()
+    scores_m = matrix_bc(backend, A, sources).dense_values()
+
+    assert np.allclose(scores_g, scores_m), "APIs disagree!"
+
+    top = np.argsort(scores_g)[::-1][:N_CELLS]
+    print("top actors by betweenness:")
+    for v in top:
+        role = "courier" if v in couriers else "member"
+        print(f"  vertex {v:4d}  score {scores_g[v]:12.1f}  ({role})")
+    found = sum(1 for v in top if v in couriers)
+    print(f"\n{found}/{N_CELLS} of the top-{N_CELLS} are couriers — "
+          "degree alone would have missed them.\n")
+
+    print(f"{'API':24s}{'sim sec':>10s}{'allocations':>14s}")
+    print(f"{'graph (Lonestar)':24s}{machine_g.simulated_seconds():>10.4f}"
+          f"{machine_g.allocator.total_allocations:>14,}")
+    print(f"{'matrix (LAGraph)':24s}{machine_m.simulated_seconds():>10.4f}"
+          f"{machine_m.allocator.total_allocations:>14,}")
+    print("\nThe matrix API materializes one sigma vector per BFS level "
+          "per source;\nthe graph API keeps two flat arrays (paper "
+          "limitation #2).")
+
+
+if __name__ == "__main__":
+    main()

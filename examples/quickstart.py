@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: the same BFS through both APIs the paper compares.
+
+Builds a small synthetic social network, then computes BFS levels twice:
+
+1. with the **matrix-based API** (GraphBLAS, as LAGraph's Algorithm 2 does:
+   a masked vxm per round, three API calls each);
+2. with the **graph-based API** (Galois worklists, as Lonestar's
+   Algorithm 1 does: one fused loop per round);
+
+verifies the answers agree, and prints what the simulated 56-core machine
+observed — the instruction, memory-access and loop-count gaps that drive
+the paper's Table IV.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.graphblas as gb
+from repro.galois.graph import Graph
+from repro.galoisblas import GaloisBLASBackend
+from repro.graphs.generators import chung_lu
+from repro.lagraph import bfs as lagraph_bfs
+from repro.lonestar import bfs as lonestar_bfs
+from repro.perf.machine import Machine
+from repro.runtime.galois_rt import GaloisRuntime
+from repro.sparse.csr import build_csr
+
+
+def main():
+    # A 2000-vertex power-law "social network".
+    n, src, dst = chung_lu(n=2000, avg_degree=12, seed=42)
+    csr = build_csr(n, n, src, dst, None, dedup="last")
+    source = int(np.argmax(np.diff(csr.indptr)))  # the paper's source policy
+    print(f"graph: |V|={csr.nrows:,} |E|={csr.nvals:,} source={source}")
+
+    # --- matrix-based API (LAGraph on GaloisBLAS) ------------------------
+    machine_gb = Machine()
+    backend = GaloisBLASBackend(machine_gb)
+    A = gb.Matrix.from_csr(backend, gb.BOOL, csr, label="A")
+    machine_gb.reset_measurement()
+    dist_matrix = lagraph_bfs(backend, A, source).dense_values()
+
+    # --- graph-based API (Lonestar on Galois) ----------------------------
+    machine_ls = Machine()
+    graph = Graph(GaloisRuntime(machine_ls), csr, name="social")
+    machine_ls.reset_measurement()
+    dist_graph = lonestar_bfs(graph, source)
+
+    assert np.array_equal(dist_matrix, dist_graph), "APIs disagree!"
+    reached = int((dist_graph > 0).sum())
+    depth = int(dist_graph.max())
+    print(f"bfs: reached {reached:,} vertices, {depth} levels; "
+          f"both APIs agree\n")
+
+    print(f"{'':24s}{'matrix API':>14s}{'graph API':>14s}{'ratio':>8s}")
+    rows = [
+        ("instructions", machine_gb.counters.instructions,
+         machine_ls.counters.instructions),
+        ("memory accesses", machine_gb.counters.memory_accesses(),
+         machine_ls.counters.memory_accesses()),
+        ("DRAM accesses", machine_gb.counters.dram,
+         machine_ls.counters.dram),
+        ("parallel loops", machine_gb.counters.loops,
+         machine_ls.counters.loops),
+    ]
+    for label, m_val, g_val in rows:
+        ratio = m_val / max(g_val, 1)
+        print(f"{label:24s}{m_val:>14,}{g_val:>14,}{ratio:>8.2f}")
+    t_m = machine_gb.simulated_seconds()
+    t_g = machine_ls.simulated_seconds()
+    print(f"{'simulated seconds':24s}{t_m:>14.5f}{t_g:>14.5f}"
+          f"{t_m / t_g:>8.2f}")
+    print("\nThe matrix API needs multiple passes (assign + vxm + nvals "
+          "check) per round\nwhere the graph API fuses everything into one "
+          "loop — the paper's 'lightweight\nloops' limitation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline with setuptools 65 and no ``wheel``
+package, so ``pip install -e .`` (which builds an editable wheel) fails.
+``python setup.py develop`` — or the .pth fallback below — installs the
+package identically for this repository's purposes.
+"""
+
+from setuptools import setup
+
+setup()

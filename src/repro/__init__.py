@@ -1,0 +1,37 @@
+"""repro — a reproduction of "A Study of APIs for Graph Analytics Workloads".
+
+The package implements both software stacks the paper compares:
+
+* a matrix-based stack: a GraphBLAS API (:mod:`repro.graphblas`) with two
+  backends — :mod:`repro.suitesparse` and :mod:`repro.galoisblas` — and the
+  LAGraph algorithm library (:mod:`repro.lagraph`);
+* a graph-based stack: a Galois-style runtime and graph API
+  (:mod:`repro.galois`) and the Lonestar algorithms (:mod:`repro.lonestar`);
+
+plus a deterministic machine model (:mod:`repro.perf`), the nine scaled input
+graphs (:mod:`repro.graphs`), and the study harness that regenerates every
+table and figure of the paper (:mod:`repro.core`).
+"""
+
+from repro.perf import Machine, PerfCounters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "PerfCounters",
+    "SYSTEMS",
+    "System",
+    "make_system",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy import: repro.core pulls in every subsystem, which would make
+    # importing any leaf module (e.g. repro.sparse) pay for the whole stack.
+    if name in ("SYSTEMS", "System", "make_system"):
+        from repro.core import systems
+
+        return getattr(systems, name if name != "SYSTEMS" else "SYSTEMS")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

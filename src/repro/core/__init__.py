@@ -1,0 +1,29 @@
+"""The study itself: systems under test, experiment grid, tables, figures.
+
+This package is the paper's "primary contribution" — the comparative
+methodology.  It binds the three software stacks (SS = LAGraph/SuiteSparse,
+GB = LAGraph/GaloisBLAS, LS = Lonestar/Galois) to the simulated machine,
+runs every (system, application, graph) cell with the paper's §IV defaults,
+cross-checks answers between stacks, and renders every table and figure of
+the evaluation (see DESIGN.md §4 for the experiment index).
+"""
+
+from repro.core.systems import SYSTEMS, System, make_system
+from repro.core.experiments import CellResult, run_cell
+from repro.core.tables import table1, table2, table3, table4, table5
+from repro.core.figures import figure2, figure3
+
+__all__ = [
+    "CellResult",
+    "SYSTEMS",
+    "System",
+    "figure2",
+    "figure3",
+    "make_system",
+    "run_cell",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

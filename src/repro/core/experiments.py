@@ -1,0 +1,151 @@
+"""Running one experiment cell and caching the results.
+
+A *cell* is one (system, application, graph) triple — one highlighted entry
+of Table II.  :func:`run_cell` reproduces the paper's methodology:
+
+* fresh machine per run, configured from the dataset's scale;
+* graph loading and preprocessing excluded from time but included in MRSS;
+* 56 threads, 2 h (simulated) timeout, DRAM capacity modeled → cells end in
+  a time, ``TO`` or ``OOM`` exactly like the paper's Table II;
+* hardware counters snapshotted for Tables IV/V;
+* per-loop cost records retained so Figure 2 can re-evaluate the same run
+  at any thread count without re-executing.
+
+Results are memoized in-process and optionally persisted as JSON so the
+table/figure/benchmark layers can share one grid run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import errors
+from repro.core.systems import SystemInstance, TIMEOUT_SECONDS, make_system
+from repro.graphs.datasets import get_dataset
+from repro.perf.costmodel import THREAD_POINTS
+
+#: Status codes matching Table II's annotations.
+OK = "ok"
+TIMEOUT = "TO"
+OOM = "OOM"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one (system, app, graph) run."""
+
+    system: str
+    app: str
+    graph: str
+    status: str
+    #: Paper-scale simulated seconds at 56 threads (None for TO/OOM).
+    seconds: Optional[float]
+    #: Paper-scale MRSS in GB (defined even for TO/OOM, like the paper).
+    mrss_gb: float
+    #: Hardware-counter snapshot (instructions, l1..dram, loops, rounds...).
+    counters: Dict[str, float]
+    #: App-specific answer summary for cross-system checking.
+    answer: Optional[object]
+    #: Simulated seconds at each Figure 2 thread count.
+    thread_sweep: Dict[int, float] = field(default_factory=dict)
+    #: Wall-clock seconds this cell took to simulate (diagnostics only).
+    wall_seconds: float = 0.0
+
+    def display(self) -> str:
+        """Table II cell text: seconds, or the failure annotation."""
+        if self.status == OK:
+            return f"{self.seconds:.2f}"
+        return self.status
+
+
+_MEMO: Dict[Tuple[str, str, str], CellResult] = {}
+
+
+def run_cell(system: str, app: str, graph: str,
+             timeout: Optional[float] = TIMEOUT_SECONDS,
+             sweep_threads: bool = False,
+             use_cache: bool = True) -> CellResult:
+    """Run (or recall) one experiment cell."""
+    key = (system, app, graph)
+    if use_cache and key in _MEMO:
+        cached = _MEMO[key]
+        if not sweep_threads or cached.thread_sweep:
+            return cached
+
+    dataset = get_dataset(graph)
+    instance = make_system(system).instantiate(dataset, timeout=timeout)
+    t0 = time.time()
+    status, answer = OK, None
+    try:
+        answer = instance.run(app)
+    except errors.TimeoutError:
+        status = TIMEOUT
+    except errors.OutOfMemoryError:
+        status = OOM
+    wall = time.time() - t0
+    if isinstance(answer, (np.integer,)):
+        answer = int(answer)
+    elif isinstance(answer, (np.floating,)):
+        answer = float(answer)
+
+    machine = instance.machine
+    seconds = machine.simulated_seconds() if status == OK else None
+    sweep = {}
+    if sweep_threads and status == OK:
+        for p in THREAD_POINTS:
+            sweep[p] = machine.simulated_seconds(p)
+    result = CellResult(
+        system=system,
+        app=app,
+        graph=graph,
+        status=status,
+        seconds=seconds,
+        mrss_gb=machine.mrss_bytes() * dataset.scale / 2**30,
+        counters=machine.counters.as_dict(),
+        answer=answer,
+        thread_sweep=sweep,
+        wall_seconds=wall,
+    )
+    if use_cache:
+        _MEMO[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Forget all memoized cells."""
+    _MEMO.clear()
+
+
+def save_results(path: str) -> None:
+    """Persist all memoized cells as JSON."""
+    payload = [asdict(r) for r in _MEMO.values()]
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, default=_jsonify)
+
+
+def _jsonify(obj):
+    """numpy scalars leak into counters; store them as plain numbers."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"Object of type {type(obj).__name__} "
+                    "is not JSON serializable")
+
+
+def load_results(path: str) -> int:
+    """Load previously saved cells into the memo; returns the count."""
+    if not os.path.exists(path):
+        return 0
+    with open(path) as f:
+        payload = json.load(f)
+    for row in payload:
+        row["thread_sweep"] = {int(k): v
+                               for k, v in row.get("thread_sweep", {}).items()}
+        result = CellResult(**row)
+        _MEMO[(result.system, result.app, result.graph)] = result
+    return len(payload)

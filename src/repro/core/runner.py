@@ -1,0 +1,104 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    repro-study table1
+    repro-study table2 --graphs rmat22 road-USA-W --apps bfs cc
+    repro-study figure2
+    repro-study all --save results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import experiments, figures, tables
+from repro.core.systems import APPLICATIONS
+from repro.core.tables import GRAPH_ORDER
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Regenerate tables/figures of 'A Study of APIs for "
+                    "Graph Analytics Workloads' (IISWC 2020).")
+    parser.add_argument("target", choices=[
+        "table1", "table2", "table3", "table4", "table5",
+        "figure2", "figure3", "validate", "explain", "all"])
+    parser.add_argument("--system", default="GB", choices=["SS", "GB", "LS"],
+                        help="system for the 'explain' target")
+    parser.add_argument("--graphs", nargs="*", default=None,
+                        help=f"graph subset (default: all of {GRAPH_ORDER})")
+    parser.add_argument("--apps", nargs="*", default=None,
+                        help=f"application subset (default: {APPLICATIONS})")
+    parser.add_argument("--save", default=None,
+                        help="persist cell results as JSON")
+    parser.add_argument("--load", default=None,
+                        help="preload cell results from JSON")
+    args = parser.parse_args(argv)
+
+    graphs = args.graphs or list(GRAPH_ORDER)
+    apps = args.apps or list(APPLICATIONS)
+    if args.load:
+        n = experiments.load_results(args.load)
+        print(f"(loaded {n} cached cells from {args.load})", file=sys.stderr)
+
+    if args.target == "explain":
+        for g in graphs:
+            for app in apps:
+                print(_explain_cell(args.system, app, g))
+                print()
+    else:
+        targets = ([args.target] if args.target != "all" else
+                   ["table1", "table2", "table3", "table4", "table5",
+                    "figure2", "figure3"])
+        for target in targets:
+            print(_render(target, graphs, apps))
+            print()
+    if args.save:
+        experiments.save_results(args.save)
+        print(f"(saved cell results to {args.save})", file=sys.stderr)
+    return 0
+
+
+def _explain_cell(system: str, app: str, graph: str) -> str:
+    """Run one cell and decompose its simulated time (perf.trace)."""
+    from repro.core.systems import make_system
+    from repro.graphs.datasets import get_dataset
+    from repro.perf.trace import explain
+
+    instance = make_system(system).instantiate(get_dataset(graph))
+    instance.run(app)
+    header = f"{system} {app} {graph}:"
+    return header + "\n" + explain(instance.machine).render()
+
+
+def _render(target: str, graphs, apps) -> str:
+    if target == "validate":
+        from repro.core import validate
+
+        return "\n\n".join(validate.render(validate.validate_graph(g, apps))
+                            for g in graphs)
+    if target == "table1":
+        return str(tables.table1(graphs))
+    if target == "table2":
+        return str(tables.table2(graphs, apps))
+    if target == "table3":
+        return str(tables.table3(graphs, apps))
+    if target == "table4":
+        return str(tables.table4(graphs, apps))
+    if target == "table5":
+        return str(tables.table5(graphs))
+    if target == "figure2":
+        return str(figures.figure2(graphs=[g for g in graphs
+                                           if g in GRAPH_ORDER[-4:]]
+                                   or None))
+    if target == "figure3":
+        return str(figures.figure3(graphs=graphs))
+    raise ValueError(target)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""Systems under test: SS, GB and LS bound to a fresh simulated machine.
+
+One :class:`SystemInstance` corresponds to one process run in the paper's
+methodology: it owns a fresh :class:`~repro.perf.Machine` configured for the
+dataset (byte/time scaling, DRAM capacity, the 2 h timeout) and the loaded
+graph objects, and dispatches the six applications with the paper's §IV
+defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InvalidValue
+from repro.galois.graph import Graph
+from repro.galoisblas import GALOIS_PREALLOC_BYTES, GaloisBLASBackend
+from repro.graphs.datasets import Dataset, get_dataset
+from repro.perf.allocator import TrackingAllocator
+from repro.perf.machine import DRAM_CAPACITY_BYTES, Machine
+from repro.runtime.galois_rt import GaloisRuntime
+from repro.suitesparse import SS_ALLOC_SLACK, SuiteSparseBackend
+
+import repro.graphblas as gb
+from repro import lagraph, lonestar
+
+#: Paper labels for the three stacks (§V).
+SYSTEMS = ("SS", "GB", "LS")
+
+#: The 2-hour run timeout (§IV), in paper-scale seconds.
+TIMEOUT_SECONDS = 2 * 3600.0
+
+APPLICATIONS = ("bfs", "cc", "ktruss", "pr", "sssp", "tc")
+
+
+@dataclass
+class System:
+    """A stack identity: how to build machines and run applications."""
+
+    code: str
+    description: str
+
+    def instantiate(self, dataset: Dataset,
+                    timeout: Optional[float] = TIMEOUT_SECONDS
+                    ) -> "SystemInstance":
+        """Bind this stack to a dataset on a fresh simulated machine."""
+        return SystemInstance(self.code, dataset, timeout=timeout)
+
+
+def make_system(code: str) -> System:
+    """Look up one of the paper's three systems by its SS/GB/LS code."""
+    descriptions = {
+        "SS": "LAGraph on SuiteSparse:GraphBLAS (OpenMP)",
+        "GB": "LAGraph on GaloisBLAS (Galois runtime)",
+        "LS": "Lonestar on Galois",
+    }
+    if code not in descriptions:
+        raise InvalidValue(f"unknown system {code!r}; known: {SYSTEMS}")
+    return System(code, descriptions[code])
+
+
+class SystemInstance:
+    """One (system, dataset) pairing with a fresh machine, ready to run."""
+
+    def __init__(self, code: str, dataset: Dataset,
+                 timeout: Optional[float] = TIMEOUT_SECONDS):
+        if code not in SYSTEMS:
+            raise InvalidValue(f"unknown system {code!r}")
+        self.code = code
+        self.dataset = dataset
+        scale = dataset.scale
+        if code == "SS":
+            allocator = TrackingAllocator(
+                capacity_bytes=DRAM_CAPACITY_BYTES / scale,
+                slack_factor=SS_ALLOC_SLACK,
+                name="suitesparse",
+            )
+        else:
+            allocator = TrackingAllocator(
+                capacity_bytes=DRAM_CAPACITY_BYTES / scale,
+                prealloc_bytes=int(GALOIS_PREALLOC_BYTES / scale),
+                name="galois",
+            )
+        # timeout compares paper-scale simulated seconds (time_scale applies
+        # inside Machine.simulated_seconds, so the raw value is passed).
+        self.machine = Machine(
+            byte_scale=scale,
+            time_scale=scale,
+            timeout_seconds=timeout,
+            allocator=allocator,
+        )
+        if code == "SS":
+            self.backend = SuiteSparseBackend(self.machine)
+            self.runtime = self.backend.runtime
+        elif code == "GB":
+            self.backend = GaloisBLASBackend(self.machine)
+            self.runtime = self.backend.runtime
+        else:
+            self.backend = None
+            self.runtime = GaloisRuntime(self.machine)
+        self._loaded = {}
+
+    # ------------------------------------------------------------------
+    # Graph loading (charged to MRSS; measurement reset afterwards)
+    # ------------------------------------------------------------------
+    def _pattern_matrix(self, csr, label):
+        return gb.Matrix.from_csr(self.backend, gb.BOOL, csr, label=label)
+
+    def load_directed(self):
+        """The unweighted directed graph (bfs/pr load no edge data)."""
+        if "directed" not in self._loaded:
+            csr, _weights = self.dataset.build()
+            pattern = _pattern_of(csr)
+            if self.code == "LS":
+                self._loaded["directed"] = Graph(self.runtime, pattern, None,
+                                                 name=self.dataset.name)
+            else:
+                self._loaded["directed"] = self._pattern_matrix(pattern, "A")
+        return self._loaded["directed"]
+
+    def load_weighted(self):
+        """The weighted directed graph (sssp input)."""
+        if "weighted" not in self._loaded:
+            csr, weights = self.dataset.build()
+            dtype = np.int64
+            if self.code == "LS":
+                self._loaded["weighted"] = Graph(
+                    self.runtime, csr, weights.astype(dtype),
+                    name=f"{self.dataset.name}_w")
+            else:
+                from repro.sparse.csr import CSRMatrix
+
+                wcsr = CSRMatrix(csr.nrows, csr.ncols, csr.indptr,
+                                 csr.indices, weights.astype(dtype))
+                self._loaded["weighted"] = gb.Matrix.from_csr(
+                    self.backend, gb.INT64, wcsr, label="Aw")
+        return self._loaded["weighted"]
+
+    def load_symmetric(self):
+        """The undirected pattern view (cc/tc/ktruss input)."""
+        if "symmetric" not in self._loaded:
+            sym, _ = self.dataset.build_symmetric()
+            pattern = sym if sym.values is None else _pattern_of(sym)
+            if self.code == "LS":
+                self._loaded["symmetric"] = Graph(self.runtime, pattern, None,
+                                                  name=f"{self.dataset.name}_sym")
+            else:
+                self._loaded["symmetric"] = self._pattern_matrix(pattern,
+                                                                 "Asym")
+        return self._loaded["symmetric"]
+
+    # ------------------------------------------------------------------
+    # Applications (paper §IV defaults)
+    # ------------------------------------------------------------------
+    def run(self, app: str):
+        """Run one application; returns an app-specific summary value."""
+        if app not in APPLICATIONS:
+            raise InvalidValue(f"unknown application {app!r}")
+        return getattr(self, f"_run_{app}")()
+
+    def _run_bfs(self):
+        source = self.dataset.source_vertex()
+        obj = self.load_directed()
+        self.machine.reset_measurement()
+        if self.code == "LS":
+            dist = lonestar.bfs(obj, source)
+            return _checksum(dist)
+        dist = lagraph.bfs(self.backend, obj, source)
+        return _checksum(dist.dense_values())
+
+    def _run_cc(self):
+        obj = self.load_symmetric()
+        self.machine.reset_measurement()
+        if self.code == "LS":
+            labels = lonestar.afforest(obj)
+        else:
+            labels = lagraph.fastsv(self.backend, obj).dense_values()
+        return int(len(np.unique(labels)))
+
+    def _run_ktruss(self):
+        k = self.dataset.ktruss_k
+        obj = self.load_symmetric()
+        self.machine.reset_measurement()
+        if self.code == "LS":
+            alive, _rounds = lonestar.ktruss(obj, k)
+            return int(alive.sum())
+        S, _rounds = lagraph.ktruss(self.backend, obj, k)
+        return int(S.nvals)
+
+    def _run_pr(self):
+        obj = self.load_directed()
+        self.machine.reset_measurement()
+        if self.code == "LS":
+            ranks = lonestar.pagerank(obj, iters=10, layout="aos")
+        elif self.code == "GB":
+            # GaloisBLAS's best variant: the topology-driven pr rides the
+            # diagonal fast path (Table II's gb).
+            ranks = lagraph.pagerank_gb(self.backend, obj,
+                                        iters=10).dense_values()
+        else:
+            # SuiteSparse's best variant avoids the per-round SpGEMM.
+            ranks = lagraph.pagerank_gb_res(self.backend, obj,
+                                            iters=10).dense_values()
+        return float(np.round(ranks.sum(), 10))
+
+    def _run_sssp(self):
+        source = self.dataset.source_vertex()
+        delta = self.dataset.sssp_delta
+        obj = self.load_weighted()
+        self.machine.reset_measurement()
+        if self.code == "LS":
+            dist = lonestar.delta_stepping(obj, source, delta, tiled=True)
+            return _checksum(_finite(dist))
+        dist = lagraph.delta_stepping(self.backend, obj, source, delta)
+        return _checksum(_finite(dist.dense_values()))
+
+    def _run_tc(self):
+        obj = self.load_symmetric()
+        self.machine.reset_measurement()
+        if self.code == "LS":
+            return int(lonestar.triangle_count(obj))
+        return int(lagraph.triangle_count(self.backend, obj, "gb"))
+
+
+def _pattern_of(csr):
+    from repro.sparse.csr import CSRMatrix
+
+    return CSRMatrix(csr.nrows, csr.ncols, csr.indptr, csr.indices, None)
+
+
+def _finite(dist: np.ndarray) -> np.ndarray:
+    inf = np.iinfo(dist.dtype).max if dist.dtype.kind in "iu" else np.inf
+    return np.where(dist == inf, -1, dist)
+
+
+def _checksum(values: np.ndarray) -> int:
+    """Order-independent content checksum for cross-system comparison."""
+    arr = np.asarray(values, dtype=np.int64)
+    return int(arr.sum() % (1 << 61)) ^ int((arr * arr % 1000003).sum()
+                                            % (1 << 61))

@@ -1,0 +1,71 @@
+"""Cross-system answer validation (the reproduction's safety net).
+
+The entire study is meaningful only if all three stacks compute the same
+answers.  :func:`validate_graph` runs every application on one graph across
+SS, GB and LS and compares the answer summaries; ``repro-study validate``
+exposes it on the command line.  The test suite additionally validates
+against networkx/scipy oracles — this module covers the cross-stack leg at
+full dataset scale, where external oracles would be slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.experiments import OK, run_cell
+from repro.core.systems import APPLICATIONS, SYSTEMS
+
+
+@dataclass
+class ValidationRow:
+    """Agreement record for one (app, graph)."""
+
+    app: str
+    graph: str
+    answers: Dict[str, object]
+    statuses: Dict[str, str]
+
+    @property
+    def agreed(self) -> bool:
+        """True when every *completed* system produced the same answer."""
+        values = {a for s, a in self.answers.items()
+                  if self.statuses[s] == OK}
+        return len(values) <= 1
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for s in self.statuses.values() if s == OK)
+
+
+def validate_graph(graph: str,
+                   apps: Iterable[str] = APPLICATIONS) -> List[ValidationRow]:
+    """Run all apps on one graph across all systems; returns the records."""
+    rows = []
+    for app in apps:
+        cells = {s: run_cell(s, app, graph) for s in SYSTEMS}
+        rows.append(ValidationRow(
+            app=app,
+            graph=graph,
+            answers={s: c.answer for s, c in cells.items()},
+            statuses={s: c.status for s, c in cells.items()},
+        ))
+    return rows
+
+
+def render(rows: List[ValidationRow]) -> str:
+    """Human-readable agreement report."""
+    lines = [f"cross-system validation: {rows[0].graph}" if rows else
+             "cross-system validation: (nothing run)"]
+    all_ok = True
+    for row in rows:
+        status = "AGREE" if row.agreed else "MISMATCH"
+        all_ok &= row.agreed
+        detail = ", ".join(
+            f"{s}={row.answers[s] if row.statuses[s] == OK else row.statuses[s]}"
+            for s in SYSTEMS)
+        lines.append(f"  {row.app:8s} [{status:8s}] {detail}")
+    lines.append("all applications agree across completed systems"
+                 if all_ok else "MISMATCH DETECTED — investigate before "
+                 "trusting any timing comparison")
+    return "\n".join(lines)

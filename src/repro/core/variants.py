@@ -1,0 +1,202 @@
+"""Differential-analysis variants (§V-B, Figure 3, Table V).
+
+The paper constrains Lonestar programs and improves GraphBLAS programs to
+isolate each API limitation:
+
+* **pr**: ls (AoS) / ls-soa / gb-res / gb — isolates loop fusion and data
+  layout;
+* **tc**: ls / gb-ll / gb-sort / gb — isolates materialization and the
+  value of exploiting the degree-sorted graph;
+* **cc**: ls (Afforest) / ls-sv / gb (FastSV) — isolates fine-grained
+  vertex operations and unbounded (asynchronous) pointer jumping;
+* **sssp**: ls / ls-notile / gb — isolates asynchrony and edge tiling.
+
+Each variant runs on a fresh machine; the baseline ("gb") is the Table II
+LAGraph/GaloisBLAS implementation, so Figure 3 speedups are over gb.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import errors, lagraph, lonestar
+from repro.core.systems import SystemInstance, TIMEOUT_SECONDS
+from repro.graphs.datasets import get_dataset
+
+#: Variant lists per problem, in the paper's Figure 3 order.
+VARIANTS = {
+    "pr": ("ls", "ls-soa", "gb-res", "gb"),
+    "tc": ("ls", "gb-ll", "gb-sort", "gb"),
+    "cc": ("ls", "ls-sv", "gb"),
+    "sssp": ("ls", "ls-notile", "gb"),
+}
+
+
+@dataclass
+class VariantResult:
+    """Outcome of one variant run on one graph."""
+
+    problem: str
+    variant: str
+    graph: str
+    status: str
+    seconds: Optional[float]
+    counters: Dict[str, float] = field(default_factory=dict)
+    answer: Optional[object] = None
+
+
+_VMEMO: Dict[tuple, VariantResult] = {}
+
+
+def run_variant(problem: str, variant: str, graph: str,
+                timeout: Optional[float] = TIMEOUT_SECONDS,
+                use_cache: bool = True) -> VariantResult:
+    """Run one §V-B variant on one graph with a fresh machine (memoized)."""
+    key = (problem, variant, graph)
+    if use_cache and key in _VMEMO:
+        return _VMEMO[key]
+    dataset = get_dataset(graph)
+    system_code = "LS" if variant.startswith("ls") else "GB"
+    instance = SystemInstance(system_code, dataset, timeout=timeout)
+    status = "ok"
+    answer = None
+    try:
+        answer = _dispatch(problem, variant, instance)
+    except errors.TimeoutError:
+        status = "TO"
+    except errors.OutOfMemoryError:
+        status = "OOM"
+    machine = instance.machine
+    result = VariantResult(
+        problem=problem,
+        variant=variant,
+        graph=graph,
+        status=status,
+        seconds=machine.simulated_seconds() if status == "ok" else None,
+        counters=machine.counters.as_dict(),
+        answer=answer,
+    )
+    if use_cache:
+        _VMEMO[key] = result
+    return result
+
+
+def clear_variant_cache() -> None:
+    """Forget all memoized variant runs."""
+    _VMEMO.clear()
+
+
+def run_problem_variants(problem: str, graph: str,
+                         timeout: Optional[float] = TIMEOUT_SECONDS
+                         ) -> Dict[str, VariantResult]:
+    """All of one problem's variants on one graph."""
+    return {v: run_variant(problem, v, graph, timeout=timeout)
+            for v in VARIANTS[problem]}
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+def _dispatch(problem: str, variant: str, instance: SystemInstance):
+    handler = _HANDLERS.get((problem, variant))
+    if handler is None:
+        raise errors.InvalidValue(
+            f"unknown variant {variant!r} for problem {problem!r}")
+    return handler(instance)
+
+
+def _pr_ls(instance, layout):
+    graph = instance.load_directed()
+    instance.machine.reset_measurement()
+    ranks = lonestar.pagerank(graph, iters=10, layout=layout)
+    return float(np.round(ranks.sum(), 10))
+
+
+def _pr_gb(instance, residual):
+    A = instance.load_directed()
+    instance.machine.reset_measurement()
+    fn = lagraph.pagerank_gb_res if residual else lagraph.pagerank_gb
+    ranks = fn(instance.backend, A, iters=10).dense_values()
+    return float(np.round(ranks.sum(), 10))
+
+
+def _tc_ls(instance):
+    graph = instance.load_symmetric()
+    instance.machine.reset_measurement()
+    return int(lonestar.triangle_count(graph))
+
+
+def _tc_gb(instance, variant):
+    import repro.graphblas as gb
+
+    sym = instance.load_symmetric()
+    if variant in ("gb-sort", "gb-ll"):
+        # Preprocessing: degree-sorted input (excluded from measured time,
+        # produced by the Lonestar tc pipeline in the paper).
+        csr = sym.csr
+        total = np.diff(csr.indptr) + np.bincount(csr.indices,
+                                                  minlength=csr.nrows)
+        perm = np.argsort(total, kind="stable").astype(np.int64)
+        sorted_csr = csr.permute(perm)
+        sym = gb.Matrix.from_csr(instance.backend, gb.BOOL, sorted_csr,
+                                 label="Asym_sorted")
+    instance.machine.reset_measurement()
+    lag_variant = {"gb": "gb", "gb-sort": "gb-sort", "gb-ll": "gb-ll"}[variant]
+    return int(lagraph.triangle_count(instance.backend, sym, lag_variant))
+
+
+def _cc_ls(instance, algorithm):
+    graph = instance.load_symmetric()
+    instance.machine.reset_measurement()
+    fn = lonestar.afforest if algorithm == "afforest" else lonestar.shiloach_vishkin
+    labels = fn(graph)
+    return int(len(np.unique(labels)))
+
+
+def _cc_gb(instance):
+    A = instance.load_symmetric()
+    instance.machine.reset_measurement()
+    labels = lagraph.fastsv(instance.backend, A).dense_values()
+    return int(len(np.unique(labels)))
+
+
+def _sssp_ls(instance, tiled):
+    graph = instance.load_weighted()
+    source = instance.dataset.source_vertex()
+    delta = instance.dataset.sssp_delta
+    instance.machine.reset_measurement()
+    dist = lonestar.delta_stepping(graph, source, delta, tiled=tiled)
+    return int((dist < np.iinfo(dist.dtype).max).sum())
+
+
+def _sssp_gb(instance):
+    A = instance.load_weighted()
+    source = instance.dataset.source_vertex()
+    delta = instance.dataset.sssp_delta
+    instance.machine.reset_measurement()
+    dist = lagraph.delta_stepping(instance.backend, A, source, delta)
+    d = dist.dense_values()
+    return int((d < dist.type.max_value()).sum())
+
+
+_HANDLERS = {
+    ("pr", "ls"): lambda i: _pr_ls(i, "aos"),
+    ("pr", "ls-soa"): lambda i: _pr_ls(i, "soa"),
+    ("pr", "gb-res"): lambda i: _pr_gb(i, residual=True),
+    ("pr", "gb"): lambda i: _pr_gb(i, residual=False),
+    ("tc", "ls"): _tc_ls,
+    ("tc", "gb"): lambda i: _tc_gb(i, "gb"),
+    ("tc", "gb-sort"): lambda i: _tc_gb(i, "gb-sort"),
+    ("tc", "gb-ll"): lambda i: _tc_gb(i, "gb-ll"),
+    ("cc", "ls"): lambda i: _cc_ls(i, "afforest"),
+    ("cc", "ls-sv"): lambda i: _cc_ls(i, "sv"),
+    ("cc", "gb"): _cc_gb,
+    ("sssp", "ls"): lambda i: _sssp_ls(i, tiled=True),
+    ("sssp", "ls-notile"): lambda i: _sssp_ls(i, tiled=False),
+    ("sssp", "gb"): _sssp_gb,
+}

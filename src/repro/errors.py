@@ -1,0 +1,47 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphBLASError(ReproError):
+    """Base class for GraphBLAS API errors (the GrB_Info failure codes)."""
+
+
+class DimensionMismatch(GraphBLASError):
+    """Operands of a GraphBLAS operation have incompatible shapes."""
+
+
+class IndexOutOfBounds(GraphBLASError):
+    """A row/column index lies outside the object's dimensions."""
+
+
+class NoValue(GraphBLASError):
+    """Attempted to read an entry that is not explicit in a sparse object."""
+
+
+class InvalidValue(GraphBLASError):
+    """An argument value is not valid for the operation."""
+
+
+class OutOfMemoryError(ReproError):
+    """The tracking allocator exceeded the modeled machine's DRAM capacity.
+
+    Corresponds to the OOM entries in Table II of the paper.
+    """
+
+
+class TimeoutError(ReproError):
+    """The simulated execution time exceeded the experiment's timeout.
+
+    Corresponds to the TO entries in Table II of the paper (2 h wall clock).
+    """
+
+    def __init__(self, message, elapsed_seconds=None):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its round budget."""

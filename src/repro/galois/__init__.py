@@ -1,0 +1,35 @@
+"""The graph-based API (the paper's Galois system, §II-B).
+
+Provides the abstract data types Lonestar programs are written against:
+
+* :class:`~repro.galois.graph.Graph` — CSR topology with optional edge
+  weights, lazy in-edge (CSC) view, node-data arrays, and vectorized
+  neighborhood gathers for bulk operators;
+* worklists — :class:`~repro.galois.worklist.SparseWorklist` (explicit
+  active-vertex list), :class:`~repro.galois.worklist.DenseWorklist`
+  (bit-vector), and :class:`~repro.galois.worklist.OBIM` (soft-priority
+  buckets, the scheduler under asynchronous delta-stepping);
+* loop constructs — :func:`~repro.galois.loops.do_all` (bulk parallel loop
+  over vertices/edges, one barrier) and
+  :func:`~repro.galois.loops.for_each` (asynchronous worklist execution,
+  barrier-free between pushes), with edge tiling for load balance.
+
+The crucial API property the paper leans on: an operator here can fuse
+arbitrary composite updates in one loop, perform fine-grained operations on
+individual vertices, and run asynchronously off a single worklist — the
+three things a matrix-based API cannot express.
+"""
+
+from repro.galois.graph import Graph
+from repro.galois.worklist import DenseWorklist, OBIM, SparseWorklist
+from repro.galois.loops import LoopCharge, do_all, for_each_charge
+
+__all__ = [
+    "DenseWorklist",
+    "Graph",
+    "LoopCharge",
+    "OBIM",
+    "SparseWorklist",
+    "do_all",
+    "for_each_charge",
+]

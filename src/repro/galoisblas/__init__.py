@@ -1,0 +1,12 @@
+"""GaloisBLAS — the paper's GraphBLAS-on-Galois implementation (§III-B).
+
+The same GraphBLAS API as :mod:`repro.suitesparse`, but running on the
+Galois runtime model: chunked work stealing, huge pages, preallocated
+memory, three sparse-vector representations chosen per use (ordered map,
+unordered list, dense array), custom matrix-vector kernels, and a
+diagonal-matrix SpGEMM fast path.
+"""
+
+from repro.galoisblas.backend import GaloisBLASBackend, GALOIS_PREALLOC_BYTES
+
+__all__ = ["GaloisBLASBackend", "GALOIS_PREALLOC_BYTES"]

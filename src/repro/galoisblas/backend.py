@@ -1,0 +1,42 @@
+"""The GaloisBLAS backend: GraphBLAS kernels on the Galois runtime."""
+
+from __future__ import annotations
+
+from repro.graphblas.backend import BaseBackend
+from repro.graphblas.vector import (
+    REP_DENSE_ARRAY,
+    REP_ORDERED_MAP,
+    REP_UNORDERED_LIST,
+)
+from repro.perf.machine import Machine
+from repro.runtime.galois_rt import GaloisRuntime
+
+#: Pages the Galois runtime reserves up front (scaled machine bytes).  This
+#: is why GaloisBLAS/Lonestar MRSS exceeds SuiteSparse's on small graphs in
+#: Table III.
+GALOIS_PREALLOC_BYTES = 2 * 2**30
+
+
+class GaloisBLASBackend(BaseBackend):
+    """GraphBLAS kernels with Galois's runtime and vector representations."""
+
+    name = "galoisblas"
+    default_vector_rep = REP_DENSE_ARRAY
+    #: Custom mxv/vxm kernels (not routed through matrix-matrix machinery),
+    #: but each call still launches Galois parallel loops (nanoseconds).
+    call_overhead_ns = 150_000.0
+    supports_diag_opt = True
+
+    def __init__(self, machine: Machine):
+        super().__init__(GaloisRuntime(machine))
+
+    def pick_rep(self, size: int, expected_nvals: int, ordered: bool = False) -> str:
+        """Choose among the three vector representations (§III-B).
+
+        Dense array when most entries will be explicit (like bfs's distance
+        vector); ordered map when sparse and iteration order matters;
+        unordered list when sparse and only parallel insert/remove is needed.
+        """
+        if expected_nvals * 4 >= size:
+            return REP_DENSE_ARRAY
+        return REP_ORDERED_MAP if ordered else REP_UNORDERED_LIST

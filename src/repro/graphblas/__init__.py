@@ -1,0 +1,66 @@
+"""A GraphBLAS API in Python (the paper's matrix-based API, §II-C).
+
+The surface follows the C GraphBLAS spec the paper's LAGraph 3.2.1 codes are
+written against, translated to Python conventions:
+
+* :class:`~repro.graphblas.matrix.Matrix` and
+  :class:`~repro.graphblas.vector.Vector` objects are created from a
+  *backend* — :class:`repro.suitesparse.SuiteSparseBackend` or
+  :class:`repro.galoisblas.GaloisBLASBackend` — which owns the runtime and
+  machine model the operation costs are charged to;
+* operations (:func:`mxm`, :func:`mxv`, :func:`vxm`, :func:`eWiseAdd`,
+  :func:`eWiseMult`, :func:`apply`, :func:`assign`, :func:`extract`,
+  :func:`select`, :func:`reduce`) mutate their output object in place and
+  accept ``mask``, ``accum`` and ``desc`` arguments with GraphBLAS
+  semantics (structural/complemented masks, REPLACE, transpose);
+* semirings generalize plus/times — e.g. ``LOR_LAND`` for bfs reachability,
+  ``MIN_PLUS`` for sssp, ``PLUS_PAIR`` for triangle counting.
+
+Every operation is one or more parallel loop nests on the simulated machine;
+this is precisely the "lightweight loops" property of matrix APIs the paper
+quantifies, so the accounting here is load-bearing for the study.
+"""
+
+from repro.graphblas.types import BOOL, FP32, FP64, INT32, INT64, UINT64, GrBType
+from repro.graphblas.ops import (
+    BinaryOp,
+    Monoid,
+    Semiring,
+    UnaryOp,
+    binary,
+    monoid,
+    semiring,
+    unary,
+)
+from repro.graphblas.descriptor import Descriptor, GrB_ALL, Mask
+from repro.graphblas.vector import Vector
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.operations import (
+    apply,
+    applyMatrix,
+    assign,
+    eWiseAdd,
+    eWiseAddMatrix,
+    eWiseMult,
+    eWiseMultMatrix,
+    extract,
+    extractMatrix,
+    mxm,
+    mxv,
+    reduce_to_scalar,
+    reduce_to_vector,
+    select,
+    vxm,
+)
+
+__all__ = [
+    "BOOL", "FP32", "FP64", "INT32", "INT64", "UINT64", "GrBType",
+    "BinaryOp", "Monoid", "Semiring", "UnaryOp",
+    "binary", "monoid", "semiring", "unary",
+    "Descriptor", "GrB_ALL", "Mask",
+    "Matrix", "Vector",
+    "apply", "applyMatrix", "assign",
+    "eWiseAdd", "eWiseAddMatrix", "eWiseMult", "eWiseMultMatrix",
+    "extract", "extractMatrix",
+    "mxm", "mxv", "reduce_to_scalar", "reduce_to_vector", "select", "vxm",
+]

@@ -1,0 +1,64 @@
+"""Descriptors and masks (GraphBLAS execution modifiers).
+
+A :class:`Descriptor` bundles the GrB_Descriptor fields the LAGraph
+algorithms use: output REPLACE, mask complement, structural mask, and
+operand transposition.  ``GrB_ALL`` is the sentinel index set meaning
+"all indices" in assign/extract, as in Algorithm 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class _All:
+    """Sentinel: every index of the target object (GrB_ALL)."""
+
+    def __repr__(self):
+        return "GrB_ALL"
+
+
+GrB_ALL = _All()
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Execution modifiers for one GraphBLAS call."""
+
+    #: Clear output entries not written through the mask (GrB_REPLACE).
+    replace: bool = False
+    #: Use the complement of the mask (GrB_COMP).
+    mask_comp: bool = False
+    #: Use only the mask's structure, ignoring stored values (GrB_STRUCTURE).
+    mask_structure: bool = False
+    #: Transpose the first matrix operand (GrB_TRAN on INP0).
+    transpose_a: bool = False
+    #: Transpose the second matrix operand (GrB_TRAN on INP1).
+    transpose_b: bool = False
+
+
+#: The plain descriptor (all defaults).
+DEFAULT_DESC = Descriptor()
+
+#: LAGraph bfs's "Replace_Complemented_Desc" (§II-C, Algorithm 2 line 17).
+REPLACE_COMP = Descriptor(replace=True, mask_comp=True)
+
+#: Replace with a complemented *structural* mask.
+REPLACE_COMP_STRUCT = Descriptor(replace=True, mask_comp=True, mask_structure=True)
+
+#: Structural mask, replace output.
+REPLACE_STRUCT = Descriptor(replace=True, mask_structure=True)
+
+
+class Mask:
+    """Convenience pairing of a mask object with its interpretation flags.
+
+    Operations also accept a bare Vector/Matrix as mask, taking the flags
+    from the call's descriptor; this wrapper is for call sites that want the
+    flags attached to the mask itself.
+    """
+
+    def __init__(self, obj, complement: bool = False, structural: bool = False):
+        self.obj = obj
+        self.complement = complement
+        self.structural = structural

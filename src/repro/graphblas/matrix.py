@@ -1,0 +1,132 @@
+"""GraphBLAS matrices.
+
+A :class:`Matrix` wraps a :class:`~repro.sparse.csr.CSRMatrix` (the format
+SuiteSparse and GaloisBLAS both use, §III) plus a lazily-built, cached CSC
+view (the transpose in CSR form).  Building the transpose is charged to the
+machine the first time an operation needs it, matching SuiteSparse's
+behaviour of keeping both orientations when an algorithm demands them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DimensionMismatch, NoValue
+from repro.graphblas.types import GrBType, type_of
+from repro.sparse.csr import CSRMatrix, build_csr
+
+
+class Matrix:
+    """A GraphBLAS matrix over one scalar type."""
+
+    def __init__(self, backend, gtype, nrows: int, ncols: int,
+                 csr: Optional[CSRMatrix] = None, label: str = "matrix"):
+        self.backend = backend
+        self.type: GrBType = type_of(gtype)
+        self.label = label
+        if csr is None:
+            csr = CSRMatrix(
+                nrows, ncols,
+                np.zeros(nrows + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int32),
+                None,
+            )
+        if csr.nrows != nrows or csr.ncols != ncols:
+            raise DimensionMismatch("csr shape does not match declared shape")
+        self._csr = csr
+        self._transpose_cache: Optional[CSRMatrix] = None
+        self._transpose_allocation = None
+        self._allocation = backend.charge_matrix_alloc(self)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, backend, gtype, nrows, ncols, rows, cols, values=None,
+                 dedup: str = "last", label: str = "matrix") -> "Matrix":
+        gtype = type_of(gtype)
+        vals = None
+        if values is not None:
+            vals = np.asarray(values).astype(gtype.dtype, copy=False)
+        csr = build_csr(nrows, ncols, rows, cols, vals, dedup=dedup)
+        return cls(backend, gtype, nrows, ncols, csr=csr, label=label)
+
+    @classmethod
+    def from_csr(cls, backend, gtype, csr: CSRMatrix, label: str = "matrix") -> "Matrix":
+        return cls(backend, gtype, csr.nrows, csr.ncols, csr=csr, label=label)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return self._csr.nrows
+
+    @property
+    def ncols(self) -> int:
+        return self._csr.ncols
+
+    @property
+    def nvals(self) -> int:
+        return self._csr.nvals
+
+    @property
+    def csr(self) -> CSRMatrix:
+        """The underlying CSR storage (read-only by convention)."""
+        return self._csr
+
+    def extract_element(self, i: int, j: int):
+        """Value at (i, j); raises NoValue when not explicit."""
+        value = self._csr.get(i, j)
+        if value is None:
+            raise NoValue(f"no explicit entry at ({i}, {j})")
+        return value
+
+    def nbytes_modeled(self) -> int:
+        """Modeled storage footprint including the cached transpose."""
+        total = self._csr.nbytes
+        if self._transpose_cache is not None:
+            total += self._transpose_cache.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Storage management
+    # ------------------------------------------------------------------
+    def transposed_csr(self) -> CSRMatrix:
+        """CSR of the transpose (the CSC view), built and charged once."""
+        if self._transpose_cache is None:
+            self._transpose_cache = self._csr.transpose()
+            self._transpose_allocation = self.backend.charge_transpose_build(
+                self)
+        return self._transpose_cache
+
+    def replace_csr(self, csr: CSRMatrix) -> None:
+        """Swap in new storage (used by select/assign outputs)."""
+        if csr.nrows != self.nrows or csr.ncols != self.ncols:
+            raise DimensionMismatch("replacement csr changes matrix shape")
+        self._drop_transpose()
+        self.backend.recharge_matrix(self, old_bytes=self.nbytes_modeled(),
+                                     new_bytes=csr.nbytes)
+        self._csr = csr
+
+    def _drop_transpose(self) -> None:
+        self._transpose_cache = None
+        if self._transpose_allocation is not None:
+            self.backend.release(self._transpose_allocation)
+            self._transpose_allocation = None
+
+    def dup(self, label: Optional[str] = None) -> "Matrix":
+        """Deep copy (GrB_Matrix_dup)."""
+        return Matrix(self.backend, self.type, self.nrows, self.ncols,
+                      csr=self._csr.copy(), label=label or f"{self.label}_dup")
+
+    def free(self) -> None:
+        """Release the modeled storage (GrB_free)."""
+        self._drop_transpose()
+        self.backend.release(self._allocation)
+
+    def __repr__(self):
+        return (f"Matrix({self.label!r}, {self.nrows}x{self.ncols}, "
+                f"nvals={self.nvals}, {self.type!r})")

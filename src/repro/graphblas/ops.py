@@ -1,0 +1,161 @@
+"""GraphBLAS operator objects: unary ops, binary ops, monoids, semirings.
+
+Construction helpers follow GraphBLAS naming:
+
+>>> semiring("min_plus")        # sssp relaxation
+Semiring(min_plus)
+>>> semiring("lor_land")        # bfs reachability
+Semiring(lor_land)
+>>> semiring("plus_pair")       # triangle counting (SandiaDot)
+Semiring(plus_pair)
+
+Binary ops may be *bound* to a scalar to make a unary op for ``apply`` —
+the GxB "binop with thunk" idiom LAGraph uses heavily:
+
+>>> binary("plus").bind_second(1)
+UnaryOp(plus_bound)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import InvalidValue
+from repro.sparse.semiring_ops import BINARY_FNS, MONOID_FNS, BinaryFn, MonoidFn
+
+
+class UnaryOp:
+    """An element-wise unary operator."""
+
+    def __init__(self, name: str, fn: Callable):
+        self.name = name
+        self.fn = fn
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Apply element-wise to an array."""
+        return self.fn(values)
+
+    def __repr__(self):
+        return f"UnaryOp({self.name})"
+
+
+_UNARY = {
+    "identity": UnaryOp("identity", lambda v: np.asarray(v).copy()),
+    "ainv": UnaryOp("ainv", np.negative),
+    "minv": UnaryOp("minv", np.reciprocal),
+    "lnot": UnaryOp("lnot", np.logical_not),
+    "one": UnaryOp("one", lambda v: np.ones_like(np.asarray(v))),
+    "abs": UnaryOp("abs", np.abs),
+}
+
+
+def unary(name: str) -> UnaryOp:
+    """Look up a predefined unary operator by name."""
+    key = name.lower()
+    if key not in _UNARY:
+        raise InvalidValue(f"unknown unary op {name!r}")
+    return _UNARY[key]
+
+
+class BinaryOp:
+    """An element-wise binary operator."""
+
+    def __init__(self, fn: BinaryFn):
+        self.fn = fn
+        self.name = fn.name
+
+    def apply(self, a, b):
+        """Apply element-wise with numpy broadcasting."""
+        return self.fn.apply(a, b)
+
+    def bind_first(self, scalar) -> UnaryOp:
+        """``f(x) = op(scalar, x)`` — GxB bind-first."""
+        return UnaryOp(f"{self.name}_bound1", lambda v: self.fn.apply(scalar, v))
+
+    def bind_second(self, scalar) -> UnaryOp:
+        """``f(x) = op(x, scalar)`` — GxB bind-second."""
+        return UnaryOp(f"{self.name}_bound2", lambda v: self.fn.apply(v, scalar))
+
+    def __repr__(self):
+        return f"BinaryOp({self.name})"
+
+
+def binary(name: str) -> BinaryOp:
+    """Look up a predefined binary operator by name."""
+    key = name.lower()
+    if key not in BINARY_FNS:
+        raise InvalidValue(f"unknown binary op {name!r}")
+    return BinaryOp(BINARY_FNS[key])
+
+
+class Monoid:
+    """A commutative, associative binary op with identity."""
+
+    def __init__(self, fn: MonoidFn):
+        self.fn = fn
+        self.name = fn.kind
+
+    def identity(self, dtype):
+        """The identity value for ``dtype``."""
+        return self.fn.identity(dtype)
+
+    def combine(self, a, b):
+        """Element-wise combine of two arrays."""
+        return self.fn.combine(a, b)
+
+    def reduce_all(self, values, dtype=None):
+        """Reduce a flat array to a scalar (identity when empty)."""
+        return self.fn.reduce_all(values, dtype)
+
+    def as_binary(self) -> BinaryOp:
+        """This monoid viewed as a plain binary op (for accumulators)."""
+        return binary(self.name)
+
+    def __repr__(self):
+        return f"Monoid({self.name})"
+
+
+def monoid(name: str) -> Monoid:
+    """Look up a predefined monoid by name (plus/min/max/times/lor/land)."""
+    key = name.lower()
+    if key not in MONOID_FNS:
+        raise InvalidValue(f"unknown monoid {name!r}")
+    return Monoid(MONOID_FNS[key])
+
+
+class Semiring:
+    """A (add-monoid, multiply) pair generalizing (+, x)."""
+
+    def __init__(self, add: Monoid, mult: BinaryOp):
+        self.add = add
+        self.mult = mult
+        self.name = f"{add.name}_{mult.name}"
+
+    def __repr__(self):
+        return f"Semiring({self.name})"
+
+
+def semiring(name: str) -> Semiring:
+    """Build a semiring from an ``add_mult`` name, e.g. ``"min_plus"``.
+
+    The add part must name a monoid, the rest a binary op (which may itself
+    contain underscores, so the split is on the first underscore).
+    """
+    parts = name.lower().split("_", 1)
+    if len(parts) != 2:
+        raise InvalidValue(f"semiring name must be add_mult, got {name!r}")
+    return Semiring(monoid(parts[0]), binary(parts[1]))
+
+
+# Predefined semirings the LAGraph algorithms use.
+LOR_LAND = semiring("lor_land")
+MIN_PLUS = semiring("min_plus")
+MIN_MIN = semiring("min_min")
+MIN_SECOND = semiring("min_second")
+MIN_FIRST = semiring("min_first")
+PLUS_TIMES = semiring("plus_times")
+PLUS_SECOND = semiring("plus_second")
+PLUS_FIRST = semiring("plus_first")
+PLUS_PAIR = semiring("plus_pair")

@@ -1,0 +1,66 @@
+"""GraphBLAS type system mapped onto numpy dtypes.
+
+The paper's experiments exercise the type system in one interesting way:
+sssp distances are 32-bit integers everywhere *except* eukarya, whose heavy
+edge weights overflow 32 bits, so the authors switch that one graph to
+64-bit (§IV).  Types here carry their numpy dtype plus overflow-relevant
+metadata so the harness can reproduce that switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidValue
+
+
+@dataclass(frozen=True)
+class GrBType:
+    """One GraphBLAS scalar type."""
+
+    name: str
+    dtype: np.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    def max_value(self):
+        """The dtype's maximum (the MIN monoid identity / 'infinity')."""
+        if self.dtype.kind == "f":
+            return np.inf
+        if self.dtype.kind == "b":
+            return True
+        return np.iinfo(self.dtype).max
+
+    def __repr__(self):
+        return f"GrB_{self.name}"
+
+
+BOOL = GrBType("BOOL", np.dtype(np.bool_))
+INT32 = GrBType("INT32", np.dtype(np.int32))
+INT64 = GrBType("INT64", np.dtype(np.int64))
+UINT32 = GrBType("UINT32", np.dtype(np.uint32))
+UINT64 = GrBType("UINT64", np.dtype(np.uint64))
+FP32 = GrBType("FP32", np.dtype(np.float32))
+FP64 = GrBType("FP64", np.dtype(np.float64))
+
+_BY_NAME = {t.name: t for t in (BOOL, INT32, INT64, UINT32, UINT64, FP32, FP64)}
+_BY_DTYPE = {t.dtype: t for t in (BOOL, INT32, INT64, UINT32, UINT64, FP32, FP64)}
+
+
+def type_of(obj) -> GrBType:
+    """Resolve a GrBType from a name, numpy dtype, or GrBType."""
+    if isinstance(obj, GrBType):
+        return obj
+    if isinstance(obj, str):
+        key = obj.upper().replace("GRB_", "")
+        if key in _BY_NAME:
+            return _BY_NAME[key]
+        raise InvalidValue(f"unknown GraphBLAS type {obj!r}")
+    dtype = np.dtype(obj)
+    if dtype in _BY_DTYPE:
+        return _BY_DTYPE[dtype]
+    raise InvalidValue(f"no GraphBLAS type for dtype {dtype}")

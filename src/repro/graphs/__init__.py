@@ -1,0 +1,31 @@
+"""Input graphs: generators, the nine scaled paper datasets, properties.
+
+The paper's nine inputs (Table I) are real datasets we cannot ship; each is
+replaced by a seeded synthetic twin matched on the structural axes the
+study's analysis depends on — degree distribution, diameter class, average
+degree, directedness and weights (see DESIGN.md §1 and §5).
+"""
+
+from repro.graphs.generators import (
+    chung_lu,
+    protein_similarity,
+    rmat,
+    road_lattice,
+    web_crawl,
+)
+from repro.graphs.datasets import DATASETS, Dataset, get_dataset, load_csr
+from repro.graphs.properties import GraphProperties, compute_properties
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "GraphProperties",
+    "chung_lu",
+    "compute_properties",
+    "get_dataset",
+    "load_csr",
+    "protein_similarity",
+    "rmat",
+    "road_lattice",
+    "web_crawl",
+]

@@ -1,0 +1,263 @@
+"""Synthetic graph generators.
+
+Each generator returns COO edge arrays ``(nnodes, src, dst)``; weights are
+attached by :mod:`repro.graphs.datasets` per the paper's policy ("the road
+networks and protein dataset have edge weights; for the other graphs, we
+generate random edge weights", §IV).
+
+Generator → paper-graph mapping:
+
+* :func:`rmat` — rmat22, rmat26 (synthetic power-law, [30]);
+* :func:`road_lattice` — road-USA-W, road-USA (high diameter, degree ≤ 4ish);
+* :func:`web_crawl` — indochina04, uk07 (copying model: high clustering,
+  skewed in-degrees, dense neighborhoods → triangle blow-up);
+* :func:`chung_lu` — twitter40, friendster (power-law social networks);
+* :func:`protein_similarity` — eukarya (dense similarity graph, several
+  components, heavy-tailed large weights).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import InvalidValue
+
+Coo = Tuple[int, np.ndarray, np.ndarray]
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 1,
+) -> Coo:
+    """Recursive-matrix (RMAT/Graph500) power-law generator.
+
+    ``2**scale`` vertices, ``edge_factor * 2**scale`` sampled edges (before
+    self-loop removal and deduplication, which happen at CSR build).
+    """
+    if not 0 < a + b + c < 1:
+        raise InvalidValue("rmat probabilities must leave d = 1-a-b-c > 0")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        # Quadrants: a (0,0), b (0,1), c (1,0), d (1,1).
+        right = (r >= a) & (r < a + b)
+        down = (r >= a + b) & (r < a + b + c)
+        diag = r >= a + b + c
+        bit = 1 << (scale - level - 1)
+        src += bit * (down | diag)
+        dst += bit * (right | diag)
+    keep = src != dst
+    return n, src[keep], dst[keep]
+
+
+def road_lattice(
+    length: int,
+    width: int,
+    seed: int = 1,
+    drop_prob: float = 0.05,
+    shortcut_prob: float = 0.01,
+) -> Coo:
+    """A long thin lattice: the road-network twin.
+
+    ``length x width`` intersections connected to their 4-neighbors (both
+    directions), with a fraction of segments dropped and a few local
+    shortcuts added.  The strip shape preserves the real road networks'
+    defining property at reduced scale: diameter on the order of ``length``
+  , with degrees bounded by a small constant.
+    """
+    n = length * width
+    rng = np.random.default_rng(seed)
+    ids = np.arange(n, dtype=np.int64).reshape(length, width)
+
+    horiz_a = ids[:-1, :].ravel()
+    horiz_b = ids[1:, :].ravel()
+    vert_a = ids[:, :-1].ravel()
+    vert_b = ids[:, 1:].ravel()
+    seg_a = np.concatenate([horiz_a, vert_a])
+    seg_b = np.concatenate([horiz_b, vert_b])
+
+    keep = rng.random(len(seg_a)) >= drop_prob
+    # Never drop the spine (column 0 along the strip) so the graph stays
+    # connected end to end.
+    spine = np.isin(seg_a, ids[:, 0]) & np.isin(seg_b, ids[:, 0])
+    keep |= spine
+    seg_a, seg_b = seg_a[keep], seg_b[keep]
+
+    n_short = int(shortcut_prob * n)
+    if n_short:
+        s_row = rng.integers(0, length - 3, n_short)
+        jump = rng.integers(2, 4, n_short)
+        s_col = rng.integers(0, width, n_short)
+        sc_a = ids[s_row, s_col]
+        sc_b = ids[np.minimum(s_row + jump, length - 1), s_col]
+        seg_a = np.concatenate([seg_a, sc_a])
+        seg_b = np.concatenate([seg_b, sc_b])
+
+    src = np.concatenate([seg_a, seg_b])
+    dst = np.concatenate([seg_b, seg_a])
+    return n, src, dst
+
+
+def web_crawl(
+    n: int,
+    out_degree: float,
+    seed: int = 1,
+    copy_prob: float = 0.6,
+    hub_fraction: float = 0.002,
+) -> Coo:
+    """Copying-model web graph (indochina04 / uk07 twins).
+
+    Each arriving page picks a prototype among earlier pages and copies a
+    fraction of its out-links, pointing the rest at random earlier pages
+    with preference for a small hub set.  Copying produces the high
+    clustering (triangle density) and heavy in-degree skew of web crawls.
+    """
+    rng = np.random.default_rng(seed)
+    n_hubs = max(4, int(hub_fraction * n))
+    # Lognormal out-degrees around the target mean.
+    sigma = 1.0
+    mu = np.log(out_degree) - sigma**2 / 2
+    degs = np.minimum(
+        np.maximum(rng.lognormal(mu, sigma, n).astype(np.int64), 1), n // 2
+    )
+    src_chunks = []
+    dst_chunks = []
+    adj = [np.empty(0, dtype=np.int64)] * n
+    start = n_hubs + 1
+    # Seed block: hubs densely interlinked.
+    seed_src, seed_dst = np.meshgrid(np.arange(start), np.arange(start))
+    sel = seed_src != seed_dst
+    src_chunks.append(seed_src[sel].ravel().astype(np.int64))
+    dst_chunks.append(seed_dst[sel].ravel().astype(np.int64))
+    for h in range(start):
+        adj[h] = np.setdiff1d(np.arange(start, dtype=np.int64), [h])
+    for v in range(start, n):
+        d = int(degs[v])
+        proto = int(rng.integers(0, v))
+        proto_links = adj[proto]
+        n_copy = min(len(proto_links), int(d * copy_prob))
+        if n_copy:
+            copied = rng.choice(proto_links, size=n_copy, replace=False)
+        else:
+            copied = np.empty(0, dtype=np.int64)
+        n_rand = d - n_copy
+        if n_rand > 0:
+            to_hubs = rng.random(n_rand) < 0.3
+            rand_targets = np.where(
+                to_hubs,
+                rng.integers(0, n_hubs, n_rand),
+                rng.integers(0, v, n_rand),
+            )
+        else:
+            rand_targets = np.empty(0, dtype=np.int64)
+        targets = np.unique(np.concatenate([copied, rand_targets]))
+        targets = targets[targets != v]
+        adj[v] = targets
+        if len(targets):
+            src_chunks.append(np.full(len(targets), v, dtype=np.int64))
+            dst_chunks.append(targets)
+    src = np.concatenate(src_chunks)
+    dst = np.concatenate(dst_chunks)
+    # Shuffle vertex ids: the construction order correlates id with degree
+    # (hubs get low ids), which would bias every id-ordered kernel
+    # (triangular extraction, unsorted triangle counting).
+    relabel = rng.permutation(n)
+    return n, relabel[src], relabel[dst]
+
+
+def chung_lu(
+    n: int,
+    avg_degree: float,
+    exponent: float = 2.1,
+    seed: int = 1,
+    in_skew: float = 1.0,
+) -> Coo:
+    """Chung-Lu power-law graph (twitter40 / friendster twins).
+
+    Endpoint sampling proportional to Zipf-ish weights gives a power-law
+    degree distribution; ``in_skew > 1`` sharpens the in-degree tail
+    relative to the out-degree tail (twitter's celebrity effect).
+    """
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w_out = ranks ** (-1.0 / (exponent - 1.0))
+    w_in = ranks ** (-in_skew / (exponent - 1.0))
+    rng.shuffle(w_out)
+    rng.shuffle(w_in)
+    p_out = w_out / w_out.sum()
+    p_in = w_in / w_in.sum()
+    m = int(avg_degree * n)
+    src = rng.choice(n, size=m, p=p_out)
+    dst = rng.choice(n, size=m, p=p_in)
+    keep = src != dst
+    return n, src[keep].astype(np.int64), dst[keep].astype(np.int64)
+
+
+def protein_similarity(
+    n: int,
+    avg_degree: float,
+    n_components: int = 12,
+    seed: int = 1,
+) -> Coo:
+    """Protein-similarity network (eukarya twin).
+
+    Dense clusters of similar sequences (protein families) with sparse
+    bridges inside each component and *no* edges across components: the
+    real eukarya graph is a union of family clusters.  Directed edges in
+    both orientations, moderate diameter within components.
+    """
+    rng = np.random.default_rng(seed)
+    # Component sizes: one dominant component plus smaller ones.
+    raw = rng.pareto(1.2, n_components) + 1
+    sizes = np.maximum((raw / raw.sum() * n).astype(np.int64), 8)
+    sizes[0] += n - sizes.sum()  # make sizes sum to exactly n
+    src_chunks = []
+    dst_chunks = []
+    offset = 0
+    fam_size = 40
+    # A well-connected hub protein in the dominant component: the paper's
+    # source policy picks the max-out-degree vertex (§IV), which must live
+    # in the main component for sssp/bfs to exercise the whole graph.
+    hub_degree = min(int(sizes[0]) - 1, 3 * fam_size + int(avg_degree) * 2)
+    hub_targets = rng.choice(np.arange(1, sizes[0]), hub_degree,
+                             replace=False)
+    src_chunks.append(np.concatenate([np.zeros(hub_degree, dtype=np.int64),
+                                      hub_targets]))
+    dst_chunks.append(np.concatenate([hub_targets,
+                                      np.zeros(hub_degree, dtype=np.int64)]))
+    for size in sizes:
+        # Cap density so small components cannot out-hub the main one.
+        m = min(int(avg_degree * size), (size * (size - 1)) // 8)
+        # Families: dense local clusters of ~fam_size proteins, arranged
+        # along a chain — cross-family links only reach *adjacent*
+        # families, which gives the component a diameter on the order of
+        # the family count (eukarya's approx. diameter is 48, §Table I).
+        n_fam = max(1, size // fam_size)
+        a = rng.integers(0, size, m)
+        fam_of_a = a // fam_size
+        same_fam = rng.random(m) < 0.9
+        neighbor_fam = np.clip(
+            fam_of_a + rng.integers(-1, 2, m), 0, n_fam - 1)
+        b = np.where(
+            same_fam,
+            np.minimum(fam_of_a * fam_size + rng.integers(0, fam_size, m),
+                       size - 1),
+            np.minimum(neighbor_fam * fam_size
+                       + rng.integers(0, fam_size, m), size - 1),
+        )
+        keep = a != b
+        a, b = a[keep] + offset, b[keep] + offset
+        src_chunks.append(np.concatenate([a, b]))
+        dst_chunks.append(np.concatenate([b, a]))
+        offset += size
+    return n, np.concatenate(src_chunks), np.concatenate(dst_chunks)

@@ -1,0 +1,131 @@
+"""Graph file I/O: edge lists and MatrixMarket coordinate files.
+
+The original study loads its inputs from Galois .gr / MatrixMarket files.
+This module provides the equivalent interchange formats so users can run
+the harness on their own graphs:
+
+* ``.el`` / ``.wel`` — whitespace-separated (weighted) edge lists, one
+  ``src dst [weight]`` per line (the GAP benchmark suite's format);
+* ``.mtx`` — MatrixMarket ``coordinate`` format (1-based indices), as
+  LAGraph consumes; ``pattern`` and ``integer``/``real`` fields supported,
+  ``general`` and ``symmetric`` symmetries supported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidValue
+from repro.sparse.csr import CSRMatrix, build_csr
+
+
+def write_edge_list(path: str, csr: CSRMatrix,
+                    weights: Optional[np.ndarray] = None) -> None:
+    """Write ``src dst [weight]`` lines (a .el or .wel file)."""
+    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64),
+                     np.diff(csr.indptr))
+    with open(path, "w") as f:
+        if weights is None:
+            for r, c in zip(rows, csr.indices):
+                f.write(f"{r} {c}\n")
+        else:
+            if len(weights) != csr.nvals:
+                raise InvalidValue("weights length must equal nvals")
+            for r, c, w in zip(rows, csr.indices, weights):
+                f.write(f"{r} {c} {w}\n")
+
+
+def read_edge_list(path: str, nnodes: Optional[int] = None,
+                   dedup: str = "min") -> Tuple[CSRMatrix, Optional[np.ndarray]]:
+    """Read a .el/.wel file; returns (csr, weights-or-None)."""
+    srcs, dsts, vals = [], [], []
+    weighted = None
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            parts = line.split()
+            if not parts or parts[0].startswith("#"):
+                continue
+            if len(parts) == 2:
+                this_weighted = False
+            elif len(parts) == 3:
+                this_weighted = True
+            else:
+                raise InvalidValue(f"{path}:{lineno}: expected 2 or 3 fields")
+            if weighted is None:
+                weighted = this_weighted
+            elif weighted != this_weighted:
+                raise InvalidValue(f"{path}:{lineno}: mixed weighted and "
+                                   "unweighted lines")
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if weighted:
+                vals.append(int(float(parts[2])))
+    src = np.array(srcs, dtype=np.int64)
+    dst = np.array(dsts, dtype=np.int64)
+    n = nnodes or (int(max(src.max(initial=-1), dst.max(initial=-1))) + 1)
+    w = np.array(vals, dtype=np.int64) if weighted else None
+    csr = build_csr(n, n, src, dst, w, dedup=dedup)
+    return csr, csr.values
+
+
+def write_matrix_market(path: str, csr: CSRMatrix,
+                        comment: str = "") -> None:
+    """Write a MatrixMarket coordinate file (1-based, general)."""
+    field = "pattern" if csr.values is None else (
+        "integer" if np.issubdtype(csr.values.dtype, np.integer) else "real")
+    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64),
+                     np.diff(csr.indptr))
+    with open(path, "w") as f:
+        f.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        if comment:
+            f.write(f"% {comment}\n")
+        f.write(f"{csr.nrows} {csr.ncols} {csr.nvals}\n")
+        if csr.values is None:
+            for r, c in zip(rows, csr.indices):
+                f.write(f"{r + 1} {c + 1}\n")
+        else:
+            for r, c, v in zip(rows, csr.indices, csr.values):
+                f.write(f"{r + 1} {c + 1} {v}\n")
+
+
+def read_matrix_market(path: str) -> Tuple[CSRMatrix, Optional[np.ndarray]]:
+    """Read a MatrixMarket coordinate file; returns (csr, weights)."""
+    with open(path) as f:
+        header = f.readline()
+        parts = header.strip().split()
+        if (len(parts) < 5 or parts[0] != "%%MatrixMarket"
+                or parts[1] != "matrix" or parts[2] != "coordinate"):
+            raise InvalidValue(f"{path}: not a MatrixMarket coordinate file")
+        field, symmetry = parts[3], parts[4]
+        if field not in ("pattern", "integer", "real"):
+            raise InvalidValue(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise InvalidValue(f"{path}: unsupported symmetry {symmetry!r}")
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        nrows, ncols, nvals = (int(x) for x in line.split())
+        srcs, dsts, vals = [], [], []
+        for _ in range(nvals):
+            entry = f.readline().split()
+            srcs.append(int(entry[0]) - 1)
+            dsts.append(int(entry[1]) - 1)
+            if field != "pattern":
+                vals.append(float(entry[2]))
+    src = np.array(srcs, dtype=np.int64)
+    dst = np.array(dsts, dtype=np.int64)
+    w = None
+    if field == "integer":
+        w = np.array(vals, dtype=np.int64)
+    elif field == "real":
+        w = np.array(vals, dtype=np.float64)
+    if symmetry == "symmetric":
+        off = src != dst
+        src, dst = (np.concatenate([src, dst[off]]),
+                    np.concatenate([dst, src[off]]))
+        if w is not None:
+            w = np.concatenate([w, w[off]])
+    csr = build_csr(nrows, ncols, src, dst, w, dedup="min")
+    return csr, csr.values

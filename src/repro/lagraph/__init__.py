@@ -1,0 +1,42 @@
+"""LAGraph: the study's matrix-based algorithm library (§II-C, §IV).
+
+Each module implements the LAGraph 3.2.1 variant the paper selected
+(Table II) plus the differential-analysis variants of §V-B, written purely
+against the GraphBLAS API in :mod:`repro.graphblas` — they run unchanged on
+the SuiteSparse and GaloisBLAS backends.
+
+Algorithm variants (paper's naming):
+
+========  ==========================================  ==================
+problem   Table II variant                            §V-B extras
+========  ==========================================  ==================
+bfs       basic level bfs (Algorithm 2)               —
+cc        FastSV (bounded pointer jumping)            —
+ktruss    round-based support filtering               —
+pr        topology-driven, contributions in edges     gb-res (residual)
+sssp      bulk-synchronous delta-stepping (12c)       —
+tc        SandiaDot                                   gb-sort, gb-ll
+========  ==========================================  ==================
+"""
+
+from repro.lagraph.bc import betweenness_centrality
+from repro.lagraph.bfs import bfs, bfs_parent
+from repro.lagraph.cc import fastsv
+from repro.lagraph.kcore import k_core
+from repro.lagraph.ktruss import ktruss
+from repro.lagraph.pagerank import pagerank_gb, pagerank_gb_res
+from repro.lagraph.sssp import delta_stepping
+from repro.lagraph.tc import triangle_count
+
+__all__ = [
+    "betweenness_centrality",
+    "bfs",
+    "bfs_parent",
+    "delta_stepping",
+    "fastsv",
+    "k_core",
+    "ktruss",
+    "pagerank_gb",
+    "pagerank_gb_res",
+    "triangle_count",
+]

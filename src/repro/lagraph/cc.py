@@ -1,0 +1,62 @@
+"""LAGraph connected components: the FastSV variant (§IV, [37]).
+
+FastSV is a bulk-synchronous pointer-jumping algorithm.  Each round applies
+a *fixed* number of hooking/shortcutting steps to every vertex through bulk
+GraphBLAS operations — the restriction the paper contrasts with Lonestar's
+Afforest (fine-grained sampling, inexpressible in a matrix API) and with
+ls-sv's unbounded asynchronous pointer jumping (§V-B, Figure 3c).
+
+One round is five GraphBLAS calls:
+
+1. ``mxv``     — min grandparent among neighbors (stochastic hooking input);
+2. ``assign``  — hook parents: ``f[f[u]] = min(f[f[u]], mngp[u])``;
+3. ``eWiseAdd``— aggressive hooking onto the vertex itself;
+4. ``eWiseAdd``— shortcutting ``f = min(f, gp)``;
+5. ``extract`` — new grandparents ``gp = f[f]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.graphblas as gb
+from repro.graphblas.ops import MIN_SECOND, binary, monoid
+
+_MIN = binary("min")
+_MIN_MONOID = monoid("min")
+
+
+def fastsv(backend, A: gb.Matrix) -> gb.Vector:
+    """Component labels: ``f[v]`` is the minimum vertex id in v's component.
+
+    ``A`` must be structurally symmetric (the undirected view; the paper
+    computes *weakly* connected components, §IV).
+    """
+    n = A.nrows
+    ids = np.arange(n, dtype=np.int64)
+
+    f = gb.Vector(backend, gb.INT64, n, label="cc:f")
+    f.build(ids, ids)
+    gp = f.dup(label="cc:gp")
+    mngp = f.dup(label="cc:mngp")
+
+    while True:
+        backend.runtime.round()
+        f_before = f.dense_values()
+
+        # (1) mngp = min over neighbors of gp, keeping the old value for
+        # isolated vertices (accum=min merges with the previous mngp).
+        gb.mxv(mngp, A, gp, MIN_SECOND, accum=_MIN)
+        # (2) stochastic hooking: parents adopt the min neighbor grandparent.
+        gb.assign(f, mngp, indices=f_before, accum=_MIN)
+        # (3) aggressive hooking onto the vertex itself.
+        gb.eWiseAdd(f, f, mngp, _MIN_MONOID, accum=_MIN)
+        # (4) shortcutting: f = min(f, gp).
+        gb.eWiseAdd(f, f, gp, _MIN_MONOID, accum=_MIN)
+        # (5) gp = f[f]  (one bounded pointer-jumping step).
+        f_now = f.dense_values()
+        gb.extract(gp, f, f_now)
+
+        if np.array_equal(gp.dense_values(), f_now):
+            break
+    return f

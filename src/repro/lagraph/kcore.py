@@ -1,0 +1,65 @@
+"""LAGraph k-core: bulk peeling rounds (extension problem).
+
+The k-core is the maximal subgraph in which every vertex has degree >= k.
+LAGraph computes it by *bulk peeling*: each round derives the surviving
+subgraph's degree vector and removes every vertex below k — which, in a
+matrix API, means re-extracting the surviving submatrix (materializing it)
+every round, because degrees must be recomputed against the shrunken
+pattern.  A removal only becomes visible at the next round (Jacobi), the
+same limitation pair (materialization + rounds) the paper measures on
+ktruss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.graphblas as gb
+from repro.graphblas.ops import monoid
+
+
+def k_core(backend, A: gb.Matrix, k: int, max_rounds: int = 100000):
+    """Vertices of the k-core of undirected ``A`` (symmetric, no loops).
+
+    Returns ``(member, rounds)`` where ``member`` is a boolean numpy array
+    over the original vertex ids.
+    """
+    n = A.nrows
+    member = np.ones(n, dtype=bool)
+    # The working submatrix, re-materialized every peeling round.
+    S = A.dup(label="kcore:S")
+    ids = np.arange(n, dtype=np.int64)
+    alive_ids = ids
+
+    deg = gb.Vector(backend, gb.INT64, n, label="kcore:deg")
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        backend.runtime.round()
+        # Pass 1: degrees of the surviving subgraph.
+        deg2 = gb.Vector(backend, gb.INT64, len(alive_ids),
+                         label="kcore:deg_alive")
+        gb.reduce_to_vector(deg2, S, monoid("plus"))
+        dense = deg2.dense_values(fill=0)
+        present = deg2.present_mask()
+        counts = np.where(present, dense, 0)
+        # Pass 2: who falls below k this round?
+        doomed_local = np.flatnonzero(counts < k)
+        backend.charge_op("select", out=deg2,
+                          n_processed=len(alive_ids),
+                          out_nvals=len(doomed_local))
+        deg2.free()
+        if len(doomed_local) == 0:
+            break
+        member[alive_ids[doomed_local]] = False
+        keep_local = np.flatnonzero(counts >= k)
+        alive_ids = alive_ids[keep_local]
+        # Pass 3: materialize the surviving submatrix for the next round.
+        S2 = gb.Matrix(backend, A.type, len(keep_local), len(keep_local),
+                       label="kcore:S")
+        gb.extractMatrix(S2, S, keep_local, keep_local)
+        S.free()
+        S = S2
+    S.free()
+    deg.free()
+    return member, rounds

@@ -1,0 +1,47 @@
+"""Lonestar: the study's graph-based algorithm suite (§II-B, §IV).
+
+Each module implements the Lonestar/Galois program the paper measured
+(Table II) plus the constrained variants of the §V-B differential analysis,
+written against the graph API in :mod:`repro.galois`.
+
+Algorithm variants (paper's naming):
+
+========  ==========================================  ====================
+problem   Table II variant                            §V-B extras
+========  ==========================================  ====================
+bfs       round-based push (Algorithm 1), fused loop  —
+cc        Afforest (sampling + fine-grained ops)      ls-sv (Shiloach-
+                                                      Vishkin, async jumps)
+ktruss    rounds w/ immediately-visible removals      —
+pr        residual push, AoS node data                ls-soa (struct of
+                                                      arrays)
+sssp      asynchronous delta-stepping + edge tiling   ls-notile
+tc        ordered triangle listing on sorted graph    —
+========  ==========================================  ====================
+"""
+
+from repro.lonestar.bc import betweenness_centrality
+from repro.lonestar.bfs import (bfs, bfs_direction_optimizing,
+                               bfs_parent)
+from repro.lonestar.cc import afforest, shiloach_vishkin
+from repro.lonestar.dijkstra import dijkstra
+from repro.lonestar.kcore import k_core
+from repro.lonestar.ktruss import ktruss
+from repro.lonestar.pagerank import pagerank
+from repro.lonestar.sssp import delta_stepping
+from repro.lonestar.tc import triangle_count
+
+__all__ = [
+    "afforest",
+    "betweenness_centrality",
+    "bfs",
+    "bfs_direction_optimizing",
+    "bfs_parent",
+    "dijkstra",
+    "delta_stepping",
+    "k_core",
+    "ktruss",
+    "pagerank",
+    "shiloach_vishkin",
+    "triangle_count",
+]

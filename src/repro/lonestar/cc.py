@@ -1,0 +1,186 @@
+"""Lonestar connected components: Afforest, plus the ls-sv variant.
+
+**Afforest** ([14], Table II's "ls") is the paper's showcase for
+fine-grained vertex operations that a matrix API cannot express:
+
+1. *neighbor rounds*: union each vertex with only its first couple of
+   neighbors — a sampled subgraph, processing a small fraction of edges;
+2. *component sampling*: estimate the largest intermediate component from a
+   random vertex sample;
+3. *finish*: only vertices outside that component process their remaining
+   edges.
+
+On social/web graphs the giant component forms in step 1, so step 3 touches
+very few edges — an order of magnitude fewer instructions and memory
+accesses than pointer-jumping over every edge every round (Table IV).
+
+**Shiloach-Vishkin** (``ls-sv``, Figure 3c) hooks along all edges each
+round, but being asynchronous it short-circuits parent chains *unboundedly*
+within a round — unlike LAGraph's FastSV, whose bulk operations perform one
+bounded jump per round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.galois.graph import Graph
+from repro.galois.loops import LoopCharge, do_all, for_each_charge
+
+#: Vertices sampled to identify the giant intermediate component.
+SAMPLE_SIZE = 1024
+
+
+def _find(parent: np.ndarray, u: int) -> int:
+    """Union-find root with path halving (a fine-grained vertex op)."""
+    while parent[u] != u:
+        parent[u] = parent[parent[u]]
+        u = parent[u]
+    return u
+
+
+def _link(parent: np.ndarray, u: int, v: int) -> int:
+    """Union by minimum root; returns the number of pointer hops charged."""
+    hops = 0
+    while True:
+        ru, rv = u, v
+        while parent[ru] != ru:
+            parent[ru] = parent[parent[ru]]
+            ru = parent[ru]
+            hops += 1
+        while parent[rv] != rv:
+            parent[rv] = parent[parent[rv]]
+            rv = parent[rv]
+            hops += 1
+        if ru == rv:
+            return hops + 2
+        lo, hi = (ru, rv) if ru < rv else (rv, ru)
+        parent[hi] = lo
+        return hops + 3
+
+
+def afforest(graph: Graph, neighbor_rounds: int = 2) -> np.ndarray:
+    """Component labels (min reachable root id per component).
+
+    ``graph`` must be the undirected (symmetric) view.
+    """
+    rt = graph.runtime
+    n = graph.nnodes
+    parent = graph.add_node_data("cc_parent", np.int64, fill=0)
+    parent[:] = np.arange(n)
+    indptr, indices = graph.csr.indptr, graph.csr.indices
+    degrees = np.diff(indptr)
+
+    # Phase 1: neighbor rounds — link each vertex with its r-th neighbor.
+    for r in range(neighbor_rounds):
+        rt.round()
+        srcs = np.flatnonzero(degrees > r)
+        hops = 0
+        for u in srcs:
+            hops += _link(parent, int(u), int(indices[indptr[u] + r]))
+        do_all(rt, LoopCharge(
+            n_items=len(srcs),
+            instr_per_item=2.0,
+            extra_instr=hops * 2,
+            streams=[rt.rand(parent.nbytes, hops + len(srcs), elem_bytes=8),
+                     rt.strided(graph.csr.nbytes, len(srcs))],
+        ))
+
+    _compress(rt, parent)
+
+    # Phase 2: sample to find the giant intermediate component.
+    rng = np.random.default_rng(0xAF)
+    sample = rng.integers(0, n, min(SAMPLE_SIZE, n))
+    roots = parent[parent[sample]]
+    giant = np.bincount(roots, minlength=n).argmax()
+    do_all(rt, LoopCharge(
+        n_items=len(sample), instr_per_item=4.0,
+        streams=[rt.rand(parent.nbytes, 2 * len(sample), elem_bytes=8)],
+    ))
+
+    # Phase 3: finish — only vertices outside the giant component process
+    # their remaining edges (the fine-grained saving).
+    rt.round()
+    outside = np.flatnonzero(parent[parent] != giant)
+    hops = 0
+    scanned = 0
+    for u in outside:
+        if _find(parent, int(u)) == giant:
+            continue
+        lo, hi = indptr[u] + neighbor_rounds, indptr[u + 1]
+        scanned += max(0, hi - lo)
+        for v in indices[lo:hi]:
+            hops += _link(parent, int(u), int(v))
+    do_all(rt, LoopCharge(
+        n_items=max(len(outside), 1),
+        instr_per_item=2.0,
+        extra_instr=hops * 2 + scanned * 2,
+        streams=[rt.rand(parent.nbytes, hops + scanned, elem_bytes=8),
+                 rt.strided(graph.csr.nbytes, scanned)],
+        weights=degrees[outside] + 1 if len(outside) else None,
+    ))
+
+    _compress(rt, parent)
+    return parent.copy()
+
+
+def shiloach_vishkin(graph: Graph) -> np.ndarray:
+    """The ls-sv variant: hook along every edge, then jump to fixpoint.
+
+    The pointer jumping inside a round runs to convergence without global
+    barriers (asynchronous short-circuiting), which is what lets ls-sv beat
+    LAGraph's bounded FastSV on high-diameter graphs (§V-B, Figure 3c).
+    """
+    rt = graph.runtime
+    n = graph.nnodes
+    parent = graph.add_node_data("cc_parent_sv", np.int64, fill=0)
+    parent[:] = np.arange(n)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.csr.indptr))
+    cols = graph.csr.indices.astype(np.int64)
+
+    while True:
+        rt.round()
+        before = parent.copy()
+        # Hook: every edge pulls the larger root toward the smaller.
+        np.minimum.at(parent, before[rows], before[cols])
+        np.minimum.at(parent, before[cols], before[rows])
+        do_all(rt, LoopCharge(
+            n_items=len(rows),
+            instr_per_item=4.0,
+            streams=[rt.seq(graph.csr.nbytes, len(rows)),
+                     rt.rand(parent.nbytes, 4 * len(rows), elem_bytes=8)],
+        ))
+        # Unbounded pointer jumping (asynchronous, barrier-free slices).
+        # Each vertex short-circuits until its parent is a root; with path
+        # compression the charged work is the number of pointers that
+        # actually move, amortized near-linear — not a full pass per wave.
+        while True:
+            pp = parent[parent]
+            moved = int(np.count_nonzero(pp != parent))
+            for_each_charge(rt, LoopCharge(
+                n_items=max(moved, 1), instr_per_item=2.0,
+                streams=[rt.rand(parent.nbytes, 2 * max(moved, 1),
+                                 elem_bytes=8)],
+            ))
+            if moved == 0:
+                break
+            parent[:] = pp
+        if np.array_equal(parent, before):
+            break
+    return parent.copy()
+
+
+def _compress(rt, parent: np.ndarray) -> None:
+    """Full pointer-jump compression to roots (vectorized)."""
+    hops = 0
+    while True:
+        pp = parent[parent]
+        hops += 1
+        if np.array_equal(pp, parent):
+            break
+        parent[:] = pp
+    do_all(rt, LoopCharge(
+        n_items=len(parent),
+        instr_per_item=1.0 * hops,
+        streams=[rt.rand(parent.nbytes, hops * len(parent), elem_bytes=8)],
+    ))

@@ -1,0 +1,51 @@
+"""Lonestar k-core: decremental peeling off a worklist (extension problem).
+
+The graph-API version never rebuilds the graph: it keeps a live-degree
+array, seeds a worklist with the vertices below ``k``, and each removal
+decrements its neighbors' degrees, pushing any that fall below ``k`` —
+work proportional to the edges removed, with removals immediately visible
+(the same decremental/Gauss-Seidel pattern as Lonestar's ktruss).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.galois.graph import Graph
+from repro.galois.loops import LoopCharge, for_each_charge
+
+
+def k_core(graph: Graph, k: int):
+    """Vertices of the k-core of the undirected graph (symmetric view).
+
+    Returns ``(member, waves)`` with ``member`` boolean over vertices.
+    """
+    rt = graph.runtime
+    n = graph.nnodes
+    deg = graph.add_node_data("kcore_deg", np.int64, fill=0)
+    deg[:] = graph.out_degrees()
+    member = np.ones(n, dtype=bool)
+    doomed = np.flatnonzero(deg < k)
+    waves = 0
+    while len(doomed):
+        waves += 1
+        rt.round()
+        member[doomed] = False
+        # Decrement the still-live neighbors of this wave's removals.
+        from repro.sparse.csr import gather_rows
+
+        nbr_cols = gather_rows(graph.csr, doomed)[0]
+        total = len(nbr_cols)
+        if total:
+            nbrs = nbr_cols.astype(np.int64)
+            live = member[nbrs]
+            np.subtract.at(deg, nbrs[live], 1)
+        for_each_charge(rt, LoopCharge(
+            n_items=len(doomed),
+            instr_per_item=3.0,
+            extra_instr=total * 2,
+            streams=[rt.strided(graph.csr.nbytes, total),
+                     rt.rand(deg.nbytes, total, elem_bytes=8)],
+        ))
+        doomed = np.flatnonzero(member & (deg < k))
+    return member, waves

@@ -1,0 +1,92 @@
+"""Lonestar PageRank: residual push with AoS node data (and ls-soa).
+
+Per round, **one** fused ``do_all`` over the active vertices does all of:
+read the residual, accumulate it into the pagerank, scale by the
+out-degree, push the contribution to the out-neighbors' residuals — the
+composite operator the matrix API must split into separate calls (gb-res
+iterates the residual vector twice; §V-B "pr", Table V).
+
+Table II's "ls" packs pagerank/residual/out-degree into one per-vertex
+struct (array of structures): a vertex touch is one cache line.  The
+"ls-soa" variant stores them as separate arrays — the same instructions,
+more memory traffic — isolating the data-layout effect in Figure 3a.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.galois.graph import Graph
+from repro.galois.loops import LoopCharge, do_all, edge_scan_stream
+
+#: Bytes of the packed per-vertex struct {rank f8, residual f8, degree i4}.
+AOS_STRUCT_BYTES = 20
+
+
+def pagerank(graph: Graph, iters: int = 10, damping: float = 0.85,
+             layout: str = "aos") -> np.ndarray:
+    """Ranks after ``iters`` residual rounds (same semantics as LAGraph's).
+
+    ``layout`` is "aos" (Table II's ls) or "soa" (Figure 3a's ls-soa); the
+    computed ranks are identical — only the modeled memory streams differ.
+    """
+    if layout not in ("aos", "soa"):
+        raise ValueError(f"unknown layout {layout!r}")
+    rt = graph.runtime
+    n = graph.nnodes
+    base = (1.0 - damping) / n
+    rank = graph.add_node_data("pr_rank", np.float64, fill=base)
+    residual = graph.add_node_data("pr_residual", np.float64, fill=base)
+    out_deg = graph.out_degrees().astype(np.float64)
+    safe_deg = np.where(out_deg == 0, 1.0, out_deg)
+
+    for _ in range(iters):
+        rt.round()
+        active = np.flatnonzero(residual > 0)
+        dsts, _, seg = graph.gather_out_edges(active)
+        scanned = len(dsts)
+        # --- the fused operator -----------------------------------------
+        contrib = damping * residual[active] / safe_deg[active]
+        new_residual = np.zeros(n, dtype=np.float64)
+        if scanned:
+            np.add.at(new_residual, dsts, contrib[seg])
+        rank += new_residual          # pr update fused into the same loop
+        residual[:] = new_residual
+        # -----------------------------------------------------------------
+        do_all(rt, LoopCharge(
+            n_items=len(active),
+            instr_per_item=4.0,
+            extra_instr=scanned * 2,
+            streams=_layout_streams(rt, graph, n, len(active), scanned,
+                                    layout),
+            weights=graph.out_degrees()[active] + 1,
+        ))
+    return rank.copy()
+
+
+def _layout_streams(rt, graph, n, n_active, scanned, layout):
+    """Memory streams of one pr round under the chosen data layout.
+
+    Active vertices arrive in work-stealing order, not memory order, so
+    per-vertex field accesses behave like random line touches: the packed
+    AoS struct puts all three fields on one line per vertex, while SoA pays
+    one line per field per vertex (§V-B "pr", the ls vs ls-soa gap).
+    """
+    csr_stream = edge_scan_stream(rt, graph, scanned, n_active)
+    if layout == "aos":
+        struct_bytes = n * AOS_STRUCT_BYTES
+        return [
+            csr_stream,
+            rt.rand(struct_bytes, n_active, elem_bytes=AOS_STRUCT_BYTES),
+            rt.rand(struct_bytes, scanned, elem_bytes=AOS_STRUCT_BYTES),
+        ]
+    # SoA: rank, residual and degree live in three arrays — three separate
+    # line touches per active vertex, and the scatter hits the residual
+    # array.
+    return [
+        csr_stream,
+        rt.rand(n * 8, n_active, elem_bytes=8),   # residual read
+        rt.rand(n * 8, n_active, elem_bytes=8),   # rank update
+        rt.rand(n * 4, n_active, elem_bytes=4),   # degree read
+        rt.rand(n * 8, scanned, elem_bytes=8),    # residual scatter
+    ]

@@ -1,0 +1,93 @@
+"""Lonestar single-source shortest paths: asynchronous delta-stepping.
+
+The operator runs under ``galois::for_each`` on an OBIM priority worklist:
+threads continuously drain the lowest-priority bucket, and a relaxation's
+result is visible to other threads *immediately* — there are no rounds and
+no global barriers between relaxations, only a synchronization when the
+scheduler moves to the next priority level.  This asynchrony (plus edge
+tiling for power-law degree skew) is what makes Lonestar's sssp >100x
+faster than bulk-synchronous delta-stepping on road networks (§V-B,
+Figure 3d).
+
+``tiled=False`` gives the paper's ls-notile variant: high-degree vertices
+become indivisible work items and the load-balance term of the machine
+model grows accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.galois.graph import Graph
+from repro.galois.loops import (DEFAULT_TILE, LoopCharge, edge_scan_stream,
+                                for_each_charge)
+from repro.galois.worklist import OBIM
+from repro.perf.costmodel import Schedule
+
+
+def delta_stepping(
+    graph: Graph,
+    source: int,
+    delta: int,
+    tiled: bool = True,
+    dist_dtype=np.int64,
+) -> np.ndarray:
+    """Distances from ``source``; unreachable vertices hold the dtype max."""
+    rt = graph.runtime
+    n = graph.nnodes
+    inf = np.iinfo(dist_dtype).max
+    dist = graph.add_node_data("sssp_dist", dist_dtype, fill=inf)
+    out_deg = graph.out_degrees()
+    weights = graph.weights
+    if weights is None:
+        raise ValueError("sssp requires edge weights")
+
+    dist[source] = 0
+    obim = OBIM(shift=delta)
+    obim.push(np.array([source]), np.array([0]))
+
+    while True:
+        bucket = obim.min_bucket()
+        if bucket is None:
+            break
+        # Draining one priority level: asynchronous within the level.
+        while obim.min_bucket() == bucket:
+            items = obim.pop_bucket(bucket)
+            # Stale-entry filter (a popped vertex may have been improved
+            # past this bucket already).
+            items = items[dist[items] // delta == bucket]
+            if len(items) == 0:
+                continue
+            dsts, w, seg = graph.gather_out_edges(items)
+            scanned = len(dsts)
+            if scanned:
+                cand = dist[items][seg] + w.astype(dist_dtype)
+                before = dist[dsts]
+                np.minimum.at(dist, dsts, cand)
+                improved = np.unique(dsts[cand < before])
+                improved = improved[dist[improved] < inf]
+            else:
+                improved = np.empty(0, dtype=np.int64)
+            if len(improved):
+                obim.push(improved, dist[improved])
+            # Asynchronous slice: no global barrier.
+            for_each_charge(rt, LoopCharge(
+                n_items=len(items),
+                instr_per_item=3.0,
+                extra_instr=scanned * 4,
+                streams=[
+                    edge_scan_stream(rt, graph, scanned, len(items)),
+                    rt.rand(dist.nbytes, scanned + len(improved),
+                            elem_bytes=dist.itemsize),
+                    rt.seq(max(len(items), 64) * 8,
+                           len(items) + len(improved), elem_bytes=8),
+                ],
+                weights=out_deg[items] + 1,
+                tile_edges=DEFAULT_TILE if tiled else None,
+            ))
+        # Moving to the next priority level synchronizes the scheduler.
+        rt.machine.charge_loop(schedule=Schedule.STEAL, instructions=0,
+                               n_items=0, huge_pages=rt.huge_pages,
+                               barrier=True)
+        rt.round()
+    return dist

@@ -1,0 +1,105 @@
+"""Time-breakdown analysis of a simulated run (the CapeScripts role).
+
+The paper uses Intel CapeScripts to attribute time to compute vs memory
+levels.  :func:`explain` does the equivalent for a completed run on the
+simulated machine: it splits the modeled time into compute, per-cache-level
+memory service, load imbalance and fixed per-loop costs, which is how the
+calibration in EXPERIMENTS.md was diagnosed.
+
+>>> breakdown = explain(machine)
+>>> print(breakdown.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.perf.counters import LEVELS
+from repro.perf.costmodel import Schedule
+from repro.perf.machine import Machine
+
+
+@dataclass
+class TimeBreakdown:
+    """Where a run's simulated seconds went (paper-scale)."""
+
+    threads: int
+    total_seconds: float
+    #: Ideal parallel compute time (instructions / p).
+    compute_seconds: float
+    #: Memory service time per level at the modeled parallel speedups.
+    memory_seconds: Dict[str, float]
+    #: Extra time from scheduling imbalance / indivisible items.
+    imbalance_seconds: float
+    #: Scale-independent costs: loop launches, barriers, call overheads.
+    fixed_seconds: float
+    n_loops: int
+    n_serial_segments: int
+
+    def render(self) -> str:
+        """Human-readable breakdown with share bars."""
+        rows = [f"time breakdown at {self.threads} threads "
+                f"({self.total_seconds:.4f} s total, {self.n_loops} "
+                f"parallel loops):"]
+        entries = [("compute", self.compute_seconds)]
+        entries += [(f"memory:{lvl}", self.memory_seconds.get(lvl, 0.0))
+                    for lvl in LEVELS]
+        entries += [("imbalance", self.imbalance_seconds),
+                    ("fixed (launch/barrier/call)", self.fixed_seconds)]
+        for name, sec in entries:
+            share = sec / self.total_seconds if self.total_seconds else 0.0
+            bar = "#" * int(round(share * 40))
+            rows.append(f"  {name:28s} {sec:10.4f} s {share:6.1%} {bar}")
+        return "\n".join(rows)
+
+
+def explain(machine: Machine, threads: Optional[int] = None) -> TimeBreakdown:
+    """Decompose a machine's recorded loops into time categories."""
+    p = threads or machine.threads
+    model = machine.cost_model
+    params = model.params
+    scale = machine.time_scale
+    latency = dict(zip(LEVELS, machine.hierarchy.spec.latency_ns))
+    caps = dict(zip(LEVELS, params.level_speedup_cap))
+
+    compute = 0.0
+    memory = {lvl: 0.0 for lvl in LEVELS}
+    balanced = 0.0
+    actual_body = 0.0
+    fixed = 0.0
+    n_loops = 0
+    n_serial = 0
+    for loop in machine.loop_records:
+        if loop.schedule is Schedule.SERIAL:
+            n_serial += 1
+            divisor = 1
+        else:
+            n_loops += 1
+            divisor = p
+        comp = loop.instructions * params.ns_per_instruction / divisor
+        compute += comp
+        mem_here = 0.0
+        for level, count in loop.hits.items():
+            lat = latency[level]
+            if level == "dram" and loop.huge_pages:
+                lat *= params.huge_page_dram_factor
+            t = count * lat / (1 if divisor == 1 else min(p, caps[level]))
+            memory[level] += t
+            mem_here += t
+        balanced += comp + mem_here
+        actual_body += model.work_time_ns(loop, p)
+        fixed += model.fixed_time_ns(loop, p)
+
+    imbalance = max(actual_body - balanced, 0.0)
+    total = actual_body * scale + fixed
+    return TimeBreakdown(
+        threads=p,
+        total_seconds=total * 1e-9,
+        compute_seconds=compute * scale * 1e-9,
+        memory_seconds={lvl: t * scale * 1e-9 for lvl, t in memory.items()},
+        imbalance_seconds=imbalance * scale * 1e-9,
+        fixed_seconds=fixed * 1e-9,
+        n_loops=n_loops,
+        n_serial_segments=n_serial,
+    )

@@ -1,0 +1,14 @@
+"""Simulated parallel runtimes.
+
+The paper compares two runtime systems: OpenMP (under SuiteSparse, with
+static/dynamic self-scheduling) and Galois (work stealing, thread binding,
+huge pages, memory preallocation).  Algorithms execute their numpy kernels
+for real; the runtime objects here charge the machine model for what each
+parallel loop *would* cost on the paper's 56-core machine.
+"""
+
+from repro.runtime.base import Runtime, TrackedArray
+from repro.runtime.openmp import OpenMPRuntime
+from repro.runtime.galois_rt import GaloisRuntime
+
+__all__ = ["GaloisRuntime", "OpenMPRuntime", "Runtime", "TrackedArray"]

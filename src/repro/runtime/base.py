@@ -1,0 +1,150 @@
+"""Runtime interface shared by the OpenMP and Galois models."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.perf.costmodel import Schedule
+from repro.perf.machine import Machine
+from repro.perf.memmodel import AccessPattern, AccessStream
+
+
+class TrackedArray:
+    """A numpy array whose storage is charged to the tracking allocator."""
+
+    __slots__ = ("data", "_allocation", "_runtime")
+
+    def __init__(self, runtime: "Runtime", data: np.ndarray, label: str):
+        self.data = data
+        self._runtime = runtime
+        self._allocation = runtime.machine.allocator.allocate(data.nbytes, label)
+
+    def free(self) -> None:
+        """Release the tracked storage."""
+        self._runtime.machine.allocator.free(self._allocation)
+
+    def __len__(self):
+        return len(self.data)
+
+
+class Runtime:
+    """Base runtime: charging helpers bound to one :class:`Machine`.
+
+    Subclasses fix the default schedule and the huge-page behaviour, which is
+    where the paper's two runtime systems differ (§III).
+    """
+
+    #: Default schedule for parallel loops; overridden by subclasses.
+    default_schedule = Schedule.DYNAMIC
+    #: Whether the runtime backs memory with huge pages (§IV: Galois yes,
+    #: SuiteSparse no).
+    huge_pages = False
+    #: Fixed cost of launching one parallel loop (fork/join, scheduling).
+    #: Independent of the dataset's scale; calibrated so round-dominated
+    #: workloads (bfs/sssp on road networks) land near the paper's times.
+    loop_fixed_ns = 150_000.0
+    name = "runtime"
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def parallel(
+        self,
+        n_items: int,
+        instr_per_item: float = 1.0,
+        streams: Iterable[AccessStream] = (),
+        weights: Optional[Sequence] = None,
+        max_item_weight: Optional[float] = None,
+        schedule: Optional[Schedule] = None,
+        extra_instr: int = 0,
+    ):
+        """Charge one parallel loop of ``n_items`` items.
+
+        ``instr_per_item`` is the instruction proxy per item (documented at
+        each call site); ``streams`` declare the loop's memory traffic.
+        """
+        return self.machine.charge_loop(
+            schedule=schedule or self.default_schedule,
+            instructions=int(n_items * instr_per_item) + extra_instr,
+            streams=streams,
+            n_items=n_items,
+            weights=weights,
+            max_item_weight=max_item_weight,
+            huge_pages=self.huge_pages,
+            fixed_ns=self.loop_fixed_ns,
+        )
+
+    def serial(self, instructions: int = 0, streams: Iterable[AccessStream] = ()):
+        """Charge a serial code segment (no barrier, single thread)."""
+        return self.machine.charge_loop(
+            schedule=Schedule.SERIAL,
+            instructions=instructions,
+            streams=streams,
+            huge_pages=self.huge_pages,
+            barrier=False,
+        )
+
+    def round(self) -> None:
+        """Mark an algorithm-level round."""
+        self.machine.round()
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def new_array(
+        self, shape, dtype, label: str, fill=None, first_touch: bool = True
+    ) -> TrackedArray:
+        """Allocate a tracked numpy array, charging first-touch traffic.
+
+        First touch is a sequential write pass over the array, which is how
+        materialization costs enter the model (the paper's limitation #2).
+        """
+        if fill is None:
+            data = np.zeros(shape, dtype=dtype)
+        else:
+            data = np.full(shape, fill, dtype=dtype)
+        arr = TrackedArray(self, data, label)
+        if first_touch and data.size:
+            self.parallel(
+                n_items=data.size,
+                instr_per_item=1.0,
+                streams=[
+                    AccessStream(
+                        array_bytes=data.nbytes,
+                        n_accesses=data.size,
+                        pattern=AccessPattern.SEQUENTIAL,
+                        elem_bytes=data.itemsize,
+                    )
+                ],
+            )
+        return arr
+
+    def track(self, data: np.ndarray, label: str) -> TrackedArray:
+        """Track an existing array's storage without first-touch charges."""
+        return TrackedArray(self, data, label)
+
+    def charge_alloc(self, nbytes: int, label: str):
+        """Record a raw allocation (no array object)."""
+        return self.machine.allocator.allocate(nbytes, label)
+
+    def free(self, allocation) -> None:
+        """Release a raw allocation."""
+        self.machine.allocator.free(allocation)
+
+    # Convenience stream constructors ------------------------------------
+    @staticmethod
+    def seq(array_bytes: int, n_accesses: int, elem_bytes: int = 4) -> AccessStream:
+        return AccessStream(array_bytes, n_accesses, AccessPattern.SEQUENTIAL, elem_bytes)
+
+    @staticmethod
+    def rand(array_bytes: int, n_accesses: int, elem_bytes: int = 4) -> AccessStream:
+        return AccessStream(array_bytes, n_accesses, AccessPattern.RANDOM, elem_bytes)
+
+    @staticmethod
+    def strided(array_bytes: int, n_accesses: int, elem_bytes: int = 4) -> AccessStream:
+        return AccessStream(array_bytes, n_accesses, AccessPattern.STRIDED, elem_bytes)

@@ -1,0 +1,27 @@
+"""Galois runtime model (the substrate of GaloisBLAS and Lonestar, §III-B).
+
+Galois provides chunked work stealing (loops default to
+``Schedule.STEAL``, whose imbalance is bounded by the largest work item),
+huge-page backing, thread binding, and **memory preallocation**: pages are
+reserved up front so execution never dynamically allocates.  Preallocation
+is modeled in the allocator (it raises small-graph MRSS above SuiteSparse's,
+exactly the Table III effect) and is sized when a system is constructed.
+"""
+
+from __future__ import annotations
+
+from repro.perf.costmodel import Schedule
+from repro.perf.machine import Machine
+from repro.runtime.base import Runtime
+
+
+class GaloisRuntime(Runtime):
+    """The Galois execution model: work stealing plus huge pages."""
+
+    default_schedule = Schedule.STEAL
+    huge_pages = True
+    loop_fixed_ns = 180_000.0
+    name = "galois"
+
+    def __init__(self, machine: Machine):
+        super().__init__(machine)

@@ -1,0 +1,42 @@
+"""OpenMP-style runtime model (SuiteSparse's substrate, §III-A).
+
+SuiteSparse divides CSR rows (or CSC columns) among threads and relies on
+OpenMP static/dynamic scheduling plus its own self-scheduling.  The model
+therefore defaults parallel loops to ``Schedule.STATIC`` — contiguous block
+partitions whose imbalance is computed from the declared per-item weights —
+and exposes ``dynamic()`` for the kernels SuiteSparse self-schedules.
+
+Huge pages are *not* used: the paper observed SuiteSparse performs better
+without them (§IV), so its DRAM accesses pay the full latency.
+"""
+
+from __future__ import annotations
+
+from repro.perf.costmodel import Schedule
+from repro.perf.machine import Machine
+from repro.runtime.base import Runtime
+
+
+class OpenMPRuntime(Runtime):
+    """SuiteSparse's OpenMP execution model."""
+
+    default_schedule = Schedule.STATIC
+    huge_pages = False
+    loop_fixed_ns = 140_000.0
+    name = "openmp"
+
+    def __init__(self, machine: Machine):
+        super().__init__(machine)
+
+    def dynamic(self, n_items, instr_per_item=1.0, streams=(), weights=None,
+                max_item_weight=None, extra_instr=0):
+        """A loop under OpenMP ``schedule(dynamic)`` / self-scheduling."""
+        return self.parallel(
+            n_items,
+            instr_per_item=instr_per_item,
+            streams=streams,
+            weights=weights,
+            max_item_weight=max_item_weight,
+            schedule=Schedule.DYNAMIC,
+            extra_instr=extra_instr,
+        )

@@ -1,0 +1,24 @@
+"""Shared sparse-matrix storage and kernels.
+
+Both GraphBLAS backends (:mod:`repro.suitesparse`, :mod:`repro.galoisblas`)
+and the graph API (:mod:`repro.galois`) store topology in the CSR structures
+defined here.  The kernels are vectorized with numpy for execution speed;
+performance *accounting* (instructions, access streams, scheduling) is done
+by the callers through the machine model, never inferred from wall clock.
+"""
+
+from repro.sparse.csr import CSRMatrix, build_csr, gather_rows
+from repro.sparse.semiring_ops import (
+    BinaryFn,
+    MonoidFn,
+    SegmentReducer,
+)
+
+__all__ = [
+    "BinaryFn",
+    "CSRMatrix",
+    "MonoidFn",
+    "SegmentReducer",
+    "build_csr",
+    "gather_rows",
+]

@@ -1,0 +1,274 @@
+"""Compressed Sparse Row matrix storage.
+
+This is the storage format SuiteSparse, GaloisBLAS and Galois all share in
+the paper (§III).  A :class:`CSRMatrix` is an immutable-shape container of
+three numpy arrays: ``indptr`` (int64, length nrows+1), ``indices`` (int32,
+column ids sorted within each row) and optional ``values``.
+
+A matrix with ``values is None`` is *pattern-only* (an unweighted graph /
+boolean matrix); kernels treat its entries as 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DimensionMismatch, IndexOutOfBounds, InvalidValue
+
+INDEX_DTYPE = np.int32
+PTR_DTYPE = np.int64
+
+
+class CSRMatrix:
+    """A sparse matrix in CSR form with sorted, deduplicated rows."""
+
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "values")
+
+    def __init__(self, nrows, ncols, indptr, indices, values=None):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.indptr = np.ascontiguousarray(indptr, dtype=PTR_DTYPE)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        self.values = None if values is None else np.ascontiguousarray(values)
+        if len(self.indptr) != self.nrows + 1:
+            raise DimensionMismatch(
+                f"indptr length {len(self.indptr)} != nrows+1 ({self.nrows + 1})"
+            )
+        if self.indptr[-1] != len(self.indices):
+            raise InvalidValue("indptr[-1] must equal len(indices)")
+        if self.values is not None and len(self.values) != len(self.indices):
+            raise DimensionMismatch("values and indices lengths differ")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nvals(self) -> int:
+        """Number of explicit entries."""
+        return len(self.indices)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes of the CSR arrays (Table I's 'CSR size')."""
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self.values is not None:
+            total += self.values.nbytes
+        return total
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of explicit entries per row."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int):
+        """(columns, values) of row ``i``; values is None for pattern."""
+        if not 0 <= i < self.nrows:
+            raise IndexOutOfBounds(f"row {i} out of range [0, {self.nrows})")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        cols = self.indices[lo:hi]
+        vals = None if self.values is None else self.values[lo:hi]
+        return cols, vals
+
+    def get(self, i: int, j: int):
+        """Value at (i, j), or None if the entry is not explicit."""
+        cols, vals = self.row(i)
+        pos = np.searchsorted(cols, j)
+        if pos < len(cols) and cols[pos] == j:
+            return True if vals is None else vals[pos]
+        return None
+
+    def value_array(self, dtype=np.float64) -> np.ndarray:
+        """values, or an implicit all-ones array for pattern matrices."""
+        if self.values is not None:
+            return self.values
+        return np.ones(self.nvals, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Transformations (pure; callers account for their cost)
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRMatrix":
+        """The transposed matrix, also in CSR (i.e. this matrix's CSC view)."""
+        nnz = self.nvals
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        order = np.argsort(self.indices, kind="stable")
+        new_indices = rows[order]
+        new_values = None if self.values is None else self.values[order]
+        counts = np.bincount(self.indices, minlength=self.ncols)
+        new_indptr = np.concatenate(([0], np.cumsum(counts))).astype(PTR_DTYPE)
+        out = CSRMatrix(self.ncols, self.nrows, new_indptr, new_indices, new_values)
+        assert out.nvals == nnz
+        return out
+
+    def extract_tril(self, strict: bool = True) -> "CSRMatrix":
+        """Lower-triangular part (col < row, or <= when not strict)."""
+        return self._triangular(lower=True, strict=strict)
+
+    def extract_triu(self, strict: bool = True) -> "CSRMatrix":
+        """Upper-triangular part (col > row, or >= when not strict)."""
+        return self._triangular(lower=False, strict=strict)
+
+    def _triangular(self, lower: bool, strict: bool) -> "CSRMatrix":
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        if lower:
+            keep = self.indices < rows if strict else self.indices <= rows
+        else:
+            keep = self.indices > rows if strict else self.indices >= rows
+        return self.filter_entries(keep)
+
+    def filter_entries(self, keep: np.ndarray) -> "CSRMatrix":
+        """New matrix keeping only entries where ``keep`` (bool mask) holds."""
+        if len(keep) != self.nvals:
+            raise DimensionMismatch("keep mask length must equal nvals")
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        new_rows = rows[keep]
+        counts = np.bincount(new_rows, minlength=self.nrows)
+        new_indptr = np.concatenate(([0], np.cumsum(counts))).astype(PTR_DTYPE)
+        return CSRMatrix(
+            self.nrows,
+            self.ncols,
+            new_indptr,
+            self.indices[keep],
+            None if self.values is None else self.values[keep],
+        )
+
+    def permute(self, perm: np.ndarray) -> "CSRMatrix":
+        """Symmetric relabeling: row/col i of the result is ``perm[i]`` of self.
+
+        ``perm`` maps new ids to old ids (i.e. it is the ordering such that
+        ``new[i] = old[perm[i]]``), as produced by ``np.argsort(degrees)``.
+        """
+        if len(perm) != self.nrows or self.nrows != self.ncols:
+            raise DimensionMismatch("permute requires a square matrix and full perm")
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(len(perm), dtype=perm.dtype)
+        old_rows = np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr))
+        new_rows = inverse[old_rows].astype(np.int64)
+        new_cols = inverse[self.indices].astype(INDEX_DTYPE)
+        vals = self.values
+        return build_csr(
+            self.nrows, self.ncols, new_rows, new_cols,
+            None if vals is None else vals, dedup="error",
+        )
+
+    def copy(self) -> "CSRMatrix":
+        """Deep copy of all storage arrays."""
+        return CSRMatrix(
+            self.nrows,
+            self.ncols,
+            self.indptr.copy(),
+            self.indices.copy(),
+            None if self.values is None else self.values.copy(),
+        )
+
+    def to_scipy(self):
+        """Convert to scipy.sparse.csr_matrix (test oracle helper)."""
+        import scipy.sparse as sp
+
+        vals = self.value_array()
+        return sp.csr_matrix(
+            (vals, self.indices, self.indptr), shape=(self.nrows, self.ncols)
+        )
+
+    def __repr__(self):
+        kind = "pattern" if self.values is None else str(self.values.dtype)
+        return (
+            f"CSRMatrix({self.nrows}x{self.ncols}, nvals={self.nvals}, {kind})"
+        )
+
+
+def build_csr(
+    nrows: int,
+    ncols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: Optional[np.ndarray] = None,
+    dedup: str = "last",
+) -> CSRMatrix:
+    """Build a CSR matrix from COO triples, sorting and deduplicating.
+
+    ``dedup`` chooses what happens to duplicate (row, col) pairs: ``"last"``
+    keeps the last value, ``"sum"`` and ``"min"`` combine, ``"error"`` raises.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if len(rows) != len(cols):
+        raise DimensionMismatch("rows and cols must have equal length")
+    if values is not None and len(values) != len(rows):
+        raise DimensionMismatch("values length must match rows/cols")
+    if len(rows) and (rows.min() < 0 or rows.max() >= nrows):
+        raise IndexOutOfBounds("row index out of range")
+    if len(cols) and (cols.min() < 0 or cols.max() >= ncols):
+        raise IndexOutOfBounds("col index out of range")
+
+    keys = rows * ncols + cols
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    values_sorted = None if values is None else np.asarray(values)[order]
+
+    unique_keys, first_pos = np.unique(keys, return_index=True)
+    if len(unique_keys) != len(keys):
+        if dedup == "error":
+            raise InvalidValue("duplicate (row, col) entries")
+        if values_sorted is not None:
+            if dedup == "last":
+                # Last occurrence of each key in the stable order.
+                last_pos = np.concatenate((first_pos[1:], [len(keys)])) - 1
+                values_sorted = values_sorted[last_pos]
+            elif dedup == "sum":
+                seg = np.repeat(
+                    np.arange(len(unique_keys)),
+                    np.diff(np.concatenate((first_pos, [len(keys)]))),
+                )
+                values_sorted = np.bincount(
+                    seg, weights=values_sorted, minlength=len(unique_keys)
+                ).astype(values_sorted.dtype)
+            elif dedup == "min":
+                out = np.full(len(unique_keys), np.inf)
+                seg = np.repeat(
+                    np.arange(len(unique_keys)),
+                    np.diff(np.concatenate((first_pos, [len(keys)]))),
+                )
+                np.minimum.at(out, seg, values_sorted.astype(np.float64))
+                values_sorted = out.astype(values_sorted.dtype)
+            else:
+                raise InvalidValue(f"unknown dedup policy {dedup!r}")
+    elif values_sorted is not None and dedup == "last":
+        pass  # already unique
+
+    out_rows = (unique_keys // ncols).astype(np.int64)
+    out_cols = (unique_keys % ncols).astype(INDEX_DTYPE)
+    if values_sorted is not None and len(values_sorted) != len(unique_keys):
+        values_sorted = values_sorted[: len(unique_keys)]
+    counts = np.bincount(out_rows, minlength=nrows)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(PTR_DTYPE)
+    return CSRMatrix(nrows, ncols, indptr, out_cols, values_sorted)
+
+
+def gather_rows(matrix: CSRMatrix, rows: np.ndarray):
+    """Concatenate several CSR rows without a Python loop.
+
+    Returns ``(cols, val_positions, segment_ids)`` where ``cols`` is the
+    concatenation of ``matrix.indices`` slices for each requested row,
+    ``val_positions`` indexes into ``matrix.indices``/``matrix.values`` and
+    ``segment_ids[k]`` tells which position of ``rows`` element ``k`` came
+    from.  This is the workhorse of the vectorized SpMV/SpGEMM kernels.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = matrix.indptr[rows]
+    lens = matrix.indptr[rows + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty.astype(INDEX_DTYPE), empty, empty
+    seg_bounds = np.concatenate(([0], np.cumsum(lens)))
+    positions = np.arange(total, dtype=np.int64)
+    positions += np.repeat(starts - seg_bounds[:-1], lens)
+    segment_ids = np.repeat(np.arange(len(rows), dtype=np.int64), lens)
+    return matrix.indices[positions], positions, segment_ids

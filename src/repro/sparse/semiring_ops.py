@@ -1,0 +1,195 @@
+"""Numpy-backed element-wise operators and segment reducers.
+
+These are the computational primitives underneath the GraphBLAS semirings:
+a :class:`BinaryFn` is a vectorized "multiply"; a :class:`MonoidFn` is an
+associative-commutative "add" with a dtype-aware identity, which the
+:class:`SegmentReducer` applies across CSR row/column segments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import InvalidValue
+
+
+def identity_for(kind: str, dtype) -> object:
+    """The monoid identity value for a given dtype.
+
+    MIN/MAX use the dtype's extreme values so integer distance vectors behave
+    like the 32-/64-bit distance types the paper switches between for
+    eukarya (§IV).
+    """
+    dtype = np.dtype(dtype)
+    if kind == "plus":
+        return dtype.type(0)
+    if kind == "times":
+        return dtype.type(1)
+    if kind == "min":
+        if dtype.kind == "f":
+            return dtype.type(np.inf)
+        return np.iinfo(dtype).max
+    if kind == "max":
+        if dtype.kind == "f":
+            return dtype.type(-np.inf)
+        return np.iinfo(dtype).min
+    if kind == "lor":
+        return dtype.type(0)
+    if kind == "land":
+        return dtype.type(1)
+    raise InvalidValue(f"unknown monoid kind {kind!r}")
+
+
+class BinaryFn:
+    """A vectorized binary operator (the semiring 'multiply')."""
+
+    def __init__(self, name: str, fn: Optional[Callable] = None):
+        self.name = name
+        self._fn = fn
+
+    def apply(self, a, b):
+        """Apply element-wise; ``a`` and ``b`` broadcast like numpy arrays."""
+        if self.name == "first":
+            return np.broadcast_arrays(a, b)[0].copy()
+        if self.name == "second":
+            return np.broadcast_arrays(a, b)[1].copy()
+        if self.name == "pair":
+            shape = np.broadcast_shapes(np.shape(a), np.shape(b))
+            ref = np.asarray(a if np.shape(a) == shape else b)
+            dtype = ref.dtype if ref.dtype != np.bool_ else np.int64
+            return np.ones(shape, dtype=dtype)
+        if self._fn is None:
+            raise InvalidValue(f"binary op {self.name!r} has no function")
+        return self._fn(a, b)
+
+    def __repr__(self):
+        return f"BinaryFn({self.name})"
+
+
+#: Registry of multiply operators used by the study's semirings.
+BINARY_FNS = {
+    "plus": BinaryFn("plus", np.add),
+    "minus": BinaryFn("minus", np.subtract),
+    "times": BinaryFn("times", np.multiply),
+    "div": BinaryFn("div", np.divide),
+    "min": BinaryFn("min", np.minimum),
+    "max": BinaryFn("max", np.maximum),
+    "first": BinaryFn("first"),
+    "second": BinaryFn("second"),
+    "pair": BinaryFn("pair"),
+    "land": BinaryFn("land", np.logical_and),
+    "lor": BinaryFn("lor", np.logical_or),
+    "eq": BinaryFn("eq", np.equal),
+    "ne": BinaryFn("ne", np.not_equal),
+    "gt": BinaryFn("gt", np.greater),
+    "lt": BinaryFn("lt", np.less),
+    "ge": BinaryFn("ge", np.greater_equal),
+    "le": BinaryFn("le", np.less_equal),
+}
+
+
+class MonoidFn:
+    """An associative reduction operator (the semiring 'add')."""
+
+    def __init__(self, kind: str):
+        if kind not in ("plus", "times", "min", "max", "lor", "land"):
+            raise InvalidValue(f"unknown monoid kind {kind!r}")
+        self.kind = kind
+
+    def identity(self, dtype) -> object:
+        """The identity value for ``dtype``."""
+        return identity_for(self.kind, dtype)
+
+    def combine(self, a, b):
+        """Element-wise combine of two arrays."""
+        if self.kind == "plus":
+            return np.add(a, b)
+        if self.kind == "times":
+            return np.multiply(a, b)
+        if self.kind == "min":
+            return np.minimum(a, b)
+        if self.kind == "max":
+            return np.maximum(a, b)
+        if self.kind == "lor":
+            return np.logical_or(a, b)
+        return np.logical_and(a, b)
+
+    def reduce_all(self, values: np.ndarray, dtype=None):
+        """Reduce a flat array to a scalar (identity when empty)."""
+        dtype = dtype or (values.dtype if len(values) else np.float64)
+        if len(values) == 0:
+            return self.identity(dtype)
+        if self.kind == "plus":
+            return values.sum(dtype=np.int64 if np.dtype(dtype).kind in "iu" else None)
+        if self.kind == "times":
+            return values.prod()
+        if self.kind == "min":
+            return values.min()
+        if self.kind == "max":
+            return values.max()
+        if self.kind == "lor":
+            return bool(values.any())
+        return bool(values.all())
+
+    def __repr__(self):
+        return f"MonoidFn({self.kind})"
+
+
+MONOID_FNS = {kind: MonoidFn(kind) for kind in ("plus", "times", "min", "max", "lor", "land")}
+
+
+class SegmentReducer:
+    """Reduces values grouped by segment id with a monoid."""
+
+    def __init__(self, monoid: MonoidFn):
+        self.monoid = monoid
+
+    def reduce(
+        self,
+        values: np.ndarray,
+        segment_ids: np.ndarray,
+        n_segments: int,
+        dtype=None,
+    ) -> np.ndarray:
+        """Dense output of length ``n_segments``; identity where no values.
+
+        ``segment_ids`` need not be sorted.
+        """
+        values = np.asarray(values)
+        dtype = np.dtype(dtype or values.dtype)
+        kind = self.monoid.kind
+        if kind == "plus":
+            out = np.bincount(segment_ids, weights=values.astype(np.float64),
+                              minlength=n_segments)
+            return out.astype(dtype)
+        if kind == "lor":
+            out = np.zeros(n_segments, dtype=bool)
+            if len(segment_ids):
+                counted = np.bincount(
+                    segment_ids[np.asarray(values, dtype=bool)], minlength=n_segments
+                )
+                out = counted > 0
+            return out.astype(dtype)
+        out = np.full(n_segments, self.monoid.identity(dtype), dtype=dtype)
+        if len(values) == 0:
+            return out
+        if kind == "min":
+            np.minimum.at(out, segment_ids, values.astype(dtype))
+        elif kind == "max":
+            np.maximum.at(out, segment_ids, values.astype(dtype))
+        elif kind == "land":
+            np.minimum.at(out, segment_ids, values.astype(dtype))
+        elif kind == "times":
+            np.multiply.at(out, segment_ids, values.astype(dtype))
+        else:
+            raise InvalidValue(f"unsupported segment monoid {kind!r}")
+        return out
+
+    def touched(self, segment_ids: np.ndarray, n_segments: int) -> np.ndarray:
+        """Boolean array marking segments that received at least one value."""
+        out = np.zeros(n_segments, dtype=bool)
+        if len(segment_ids):
+            out[np.unique(segment_ids)] = True
+        return out

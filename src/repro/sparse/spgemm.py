@@ -1,0 +1,242 @@
+"""Sparse general matrix-matrix multiplication (SpGEMM) kernels.
+
+SuiteSparse implements SpGEMM with two families (§III-A of the paper):
+
+* **SAXPY** (Gustavson / hash): enumerate explicit entries of ``A`` by row
+  and accumulate scaled rows of ``B`` into the output row.  Our vectorized
+  equivalent expands ``A``'s entries into contributions, then combines them
+  with a key sort — the memory behaviour (an intermediate proportional to
+  the flop count) is the same as a hash accumulator's traffic.
+* **SDOT**: transpose ``B`` and compute each output entry as a dot product
+  of two sorted sparse rows.  Needs the output pattern up front, which is
+  why it shines for *masked* multiplication (e.g. the SandiaDot triangle
+  counting variant: ``C<L> = L * U'``).
+
+All kernels return flop counts for the machine model; allocation of the
+result is charged by the GraphBLAS backends that call them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionMismatch
+from repro.sparse.csr import CSRMatrix, INDEX_DTYPE, PTR_DTYPE, gather_rows
+from repro.sparse.semiring_ops import BinaryFn, MonoidFn, SegmentReducer
+
+#: Default cap on the expansion buffer of one SAXPY batch (elements).
+DEFAULT_BATCH_FLOPS = 1 << 21
+
+
+def spgemm_flop_count(A: CSRMatrix, B: CSRMatrix) -> int:
+    """Exact flop count of ``A @ B``: sum over entries (i,k) of deg_B(k).
+
+    This is what SuiteSparse's inspector computes to choose a method and to
+    size allocations.
+    """
+    b_deg = np.diff(B.indptr)
+    return int(b_deg[A.indices].sum())
+
+
+def spgemm_saxpy(
+    A: CSRMatrix,
+    B: CSRMatrix,
+    add: MonoidFn,
+    mult: BinaryFn,
+    out_dtype=np.float64,
+    batch_flops: int = DEFAULT_BATCH_FLOPS,
+) -> Tuple[CSRMatrix, int]:
+    """Row-batched SAXPY (Gustavson-style) SpGEMM.  Returns ``(C, flops)``."""
+    if A.ncols != B.nrows:
+        raise DimensionMismatch(f"inner dimensions differ: {A.ncols} vs {B.nrows}")
+    out_dtype = np.dtype(out_dtype)
+    reducer = SegmentReducer(add)
+    b_deg = np.diff(B.indptr)
+
+    # Partition A's rows into batches whose expansion fits the buffer.
+    row_flops = np.zeros(A.nrows, dtype=np.int64)
+    if A.nvals:
+        a_rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
+        np.add.at(row_flops, a_rows, b_deg[A.indices])
+    total_flops = int(row_flops.sum())
+
+    chunks_rows = []
+    chunks_cols = []
+    chunks_vals = []
+    row_lo = 0
+    cum = np.concatenate(([0], np.cumsum(row_flops)))
+    while row_lo < A.nrows:
+        # Largest row_hi such that batch flops stay within budget (always >= 1 row).
+        target = cum[row_lo] + batch_flops
+        row_hi = int(np.searchsorted(cum, target, side="right")) - 1
+        row_hi = max(row_hi, row_lo + 1)
+        row_hi = min(row_hi, A.nrows)
+        lo, hi = A.indptr[row_lo], A.indptr[row_hi]
+        ks = A.indices[lo:hi].astype(np.int64)
+        if len(ks):
+            entry_rows = np.repeat(
+                np.arange(row_lo, row_hi, dtype=np.int64),
+                np.diff(A.indptr[row_lo : row_hi + 1]),
+            )
+            cols, positions, seg = gather_rows(B, ks)
+            if len(cols):
+                a_vals = (
+                    np.ones(hi - lo, dtype=out_dtype)
+                    if A.values is None
+                    else A.values[lo:hi].astype(out_dtype, copy=False)
+                )
+                b_vals = (
+                    np.ones(len(cols), dtype=out_dtype)
+                    if B.values is None
+                    else B.values[positions].astype(out_dtype, copy=False)
+                )
+                products = mult.apply(a_vals[seg], b_vals)
+                keys = entry_rows[seg] * np.int64(B.ncols) + cols.astype(np.int64)
+                uniq, inverse = np.unique(keys, return_inverse=True)
+                vals = reducer.reduce(products, inverse, len(uniq), dtype=out_dtype)
+                chunks_rows.append((uniq // B.ncols).astype(np.int64))
+                chunks_cols.append((uniq % B.ncols).astype(INDEX_DTYPE))
+                chunks_vals.append(vals)
+        row_lo = row_hi
+
+    if chunks_rows:
+        out_rows = np.concatenate(chunks_rows)
+        out_cols = np.concatenate(chunks_cols)
+        out_vals = np.concatenate(chunks_vals)
+    else:
+        out_rows = np.empty(0, dtype=np.int64)
+        out_cols = np.empty(0, dtype=INDEX_DTYPE)
+        out_vals = np.empty(0, dtype=out_dtype)
+    counts = np.bincount(out_rows, minlength=A.nrows)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(PTR_DTYPE)
+    C = CSRMatrix(A.nrows, B.ncols, indptr, out_cols, out_vals)
+    return C, total_flops
+
+
+def spgemm_masked_dot(
+    A: CSRMatrix,
+    Bt: CSRMatrix,
+    mask: CSRMatrix,
+    add: MonoidFn,
+    mult: BinaryFn,
+    out_dtype=np.float64,
+) -> Tuple[CSRMatrix, int]:
+    """SDOT SpGEMM restricted to a structural mask: ``C<mask> = A @ Bt'``.
+
+    ``Bt`` is the transpose of the right operand, in CSR.  Only entries in
+    ``mask``'s pattern are computed; mask positions whose dot product has no
+    contributing pair produce no explicit entry (GraphBLAS semantics).
+    Returns ``(C, work)`` where work counts merge comparisons.
+    """
+    if A.nrows != mask.nrows or Bt.nrows != mask.ncols:
+        raise DimensionMismatch("mask shape must match A.nrows x Bt.nrows")
+    out_dtype = np.dtype(out_dtype)
+    reducer = SegmentReducer(add)
+    total_work = 0
+
+    all_rows = []
+    all_cols = []
+    all_vals = []
+    for i in range(mask.nrows):
+        mlo, mhi = mask.indptr[i], mask.indptr[i + 1]
+        if mlo == mhi:
+            continue
+        j_list = mask.indices[mlo:mhi].astype(np.int64)
+        a_lo, a_hi = A.indptr[i], A.indptr[i + 1]
+        a_cols = A.indices[a_lo:a_hi]
+        if len(a_cols) == 0:
+            continue
+        cat_cols, cat_pos, seg = gather_rows(Bt, j_list)
+        total_work += len(cat_cols)
+        if len(cat_cols) == 0:
+            continue
+        pos = np.searchsorted(a_cols, cat_cols)
+        pos_clipped = np.minimum(pos, len(a_cols) - 1)
+        matched = a_cols[pos_clipped] == cat_cols
+        if not matched.any():
+            continue
+        a_vals = (
+            np.ones(len(a_cols), dtype=out_dtype)
+            if A.values is None
+            else A.values[a_lo:a_hi].astype(out_dtype, copy=False)
+        )
+        b_vals = (
+            np.ones(Bt.nvals, dtype=out_dtype)
+            if Bt.values is None
+            else Bt.values.astype(out_dtype, copy=False)
+        )
+        products = mult.apply(
+            a_vals[pos_clipped[matched]], b_vals[cat_pos[matched]]
+        )
+        seg_m = seg[matched]
+        vals = reducer.reduce(products, seg_m, len(j_list), dtype=out_dtype)
+        exists = reducer.touched(seg_m, len(j_list))
+        if exists.any():
+            cols_i = j_list[exists]
+            all_rows.append(np.full(len(cols_i), i, dtype=np.int64))
+            all_cols.append(cols_i.astype(INDEX_DTYPE))
+            all_vals.append(vals[exists])
+
+    if all_rows:
+        out_rows = np.concatenate(all_rows)
+        out_cols = np.concatenate(all_cols)
+        out_vals = np.concatenate(all_vals)
+    else:
+        out_rows = np.empty(0, dtype=np.int64)
+        out_cols = np.empty(0, dtype=INDEX_DTYPE)
+        out_vals = np.empty(0, dtype=out_dtype)
+    counts = np.bincount(out_rows, minlength=mask.nrows)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(PTR_DTYPE)
+    C = CSRMatrix(mask.nrows, mask.ncols, indptr, out_cols, out_vals)
+    return C, total_work
+
+
+def spgemm_masked_saxpy(
+    A: CSRMatrix,
+    B: CSRMatrix,
+    mask: CSRMatrix,
+    add: MonoidFn,
+    mult: BinaryFn,
+    out_dtype=np.float64,
+    batch_flops: int = DEFAULT_BATCH_FLOPS,
+) -> Tuple[CSRMatrix, int]:
+    """SAXPY SpGEMM followed by a structural-mask filter.
+
+    The full expansion is computed (that is what the hash/Gustavson methods
+    do — the mask only filters the output), so the flop count equals the
+    unmasked product's.
+    """
+    C, flops = spgemm_saxpy(A, B, add, mult, out_dtype, batch_flops)
+    mask_keys = (
+        np.repeat(np.arange(mask.nrows, dtype=np.int64), np.diff(mask.indptr))
+        * np.int64(mask.ncols)
+        + mask.indices
+    )
+    c_keys = (
+        np.repeat(np.arange(C.nrows, dtype=np.int64), np.diff(C.indptr))
+        * np.int64(C.ncols)
+        + C.indices
+    )
+    keep = np.isin(c_keys, mask_keys, assume_unique=True)
+    return C.filter_entries(keep), flops
+
+
+def spgemm_diag_left(
+    diag: np.ndarray, B: CSRMatrix, mult: BinaryFn, out_dtype=np.float64
+) -> Tuple[CSRMatrix, int]:
+    """GaloisBLAS's optimized ``D @ B`` for diagonal ``D`` (§III-B).
+
+    Each row of ``B`` is scaled by the corresponding diagonal entry, with no
+    expansion or key sort — the optimization GaloisBLAS applies when it
+    detects a diagonal operand.
+    """
+    if len(diag) != B.nrows:
+        raise DimensionMismatch("diagonal length must equal B.nrows")
+    out_dtype = np.dtype(out_dtype)
+    row_of = np.repeat(np.arange(B.nrows, dtype=np.int64), np.diff(B.indptr))
+    b_vals = B.value_array(out_dtype)
+    vals = mult.apply(diag[row_of].astype(out_dtype, copy=False), b_vals)
+    C = CSRMatrix(B.nrows, B.ncols, B.indptr.copy(), B.indices.copy(), vals)
+    return C, B.nvals

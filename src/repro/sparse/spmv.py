@@ -1,0 +1,115 @@
+"""Vectorized semiring matrix-vector kernels over CSR storage.
+
+Two styles, matching §II-C of the paper:
+
+* :func:`spmv_pull` — SDOT style: iterate output entries, dot each matrix row
+  with a dense input vector (a pull-style vertex operator);
+* :func:`vxm_push` — SAXPY style: iterate the explicit entries of a sparse
+  input vector, scatter-combine rows of the matrix into the output (a
+  push-style vertex operator, one round of a round-based data-driven
+  algorithm).
+
+Each kernel returns the result plus the number of semiring multiplications it
+performed (its flops), which callers use to charge the machine model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, gather_rows
+from repro.sparse.semiring_ops import BinaryFn, MonoidFn, SegmentReducer
+
+
+def spmv_pull(
+    A: CSRMatrix,
+    x: np.ndarray,
+    add: MonoidFn,
+    mult: BinaryFn,
+    out_dtype=None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Dense ``y = A (+.x) x`` with a pull over rows (SDOT).
+
+    Returns ``(y, touched, flops)`` where ``touched[i]`` says row ``i`` had at
+    least one explicit entry (so ``y[i]`` is a real value, not the identity).
+    """
+    out_dtype = np.dtype(out_dtype or x.dtype)
+    nnz = A.nvals
+    rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
+    a_vals = A.value_array(out_dtype)
+    products = mult.apply(a_vals, x[A.indices])
+    reducer = SegmentReducer(add)
+    y = reducer.reduce(products, rows, A.nrows, dtype=out_dtype)
+    touched = np.diff(A.indptr) > 0
+    return y, touched, nnz
+
+
+def vxm_push(
+    A: CSRMatrix,
+    x_idx: np.ndarray,
+    x_vals: np.ndarray,
+    add: MonoidFn,
+    mult: BinaryFn,
+    out_dtype=None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Sparse ``y' = x' (+.x) A`` pushing along rows of A (SAXPY).
+
+    ``x_idx``/``x_vals`` are the explicit entries of the sparse input.
+    Returns ``(y_idx, y_vals, flops)`` with ``y_idx`` sorted ascending.
+    """
+    out_dtype = np.dtype(out_dtype or x_vals.dtype)
+    if len(x_idx) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.astype(out_dtype), 0
+    cols, positions, seg = gather_rows(A, x_idx)
+    flops = len(cols)
+    if flops == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.astype(out_dtype), 0
+    a_vals = (
+        np.ones(flops, dtype=out_dtype)
+        if A.values is None
+        else A.values[positions].astype(out_dtype, copy=False)
+    )
+    products = mult.apply(x_vals[seg].astype(out_dtype, copy=False), a_vals)
+    cols64 = cols.astype(np.int64)
+    y_idx, inverse = np.unique(cols64, return_inverse=True)
+    reducer = SegmentReducer(add)
+    y_vals = reducer.reduce(products, inverse, len(y_idx), dtype=out_dtype)
+    return y_idx, y_vals, flops
+
+
+def mxv_push_transposed(
+    At: CSRMatrix,
+    x_idx: np.ndarray,
+    x_vals: np.ndarray,
+    add: MonoidFn,
+    mult: BinaryFn,
+    out_dtype=None,
+):
+    """``y = A (+.x) x`` for sparse x given the transpose ``At`` in CSR.
+
+    ``A x`` pushes along *columns* of A, i.e. rows of ``At``; the semiring
+    multiply receives ``(A[i, j], x[j])`` in that order.
+    """
+    out_dtype = np.dtype(out_dtype or x_vals.dtype)
+    if len(x_idx) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.astype(out_dtype), 0
+    cols, positions, seg = gather_rows(At, x_idx)
+    flops = len(cols)
+    if flops == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.astype(out_dtype), 0
+    a_vals = (
+        np.ones(flops, dtype=out_dtype)
+        if At.values is None
+        else At.values[positions].astype(out_dtype, copy=False)
+    )
+    products = mult.apply(a_vals, x_vals[seg].astype(out_dtype, copy=False))
+    y_idx, inverse = np.unique(cols.astype(np.int64), return_inverse=True)
+    reducer = SegmentReducer(add)
+    y_vals = reducer.reduce(products, inverse, len(y_idx), dtype=out_dtype)
+    return y_idx, y_vals, flops

@@ -1,0 +1,122 @@
+"""Set-intersection kernels for triangle counting and truss support.
+
+These back both stacks' triangle work, but with different *materialization*
+behaviour, which is the paper's limitation #2:
+
+* Lonestar counts triangles by accumulating a scalar inside the search loop
+  (:func:`count_triangles_lower`) — no output matrix;
+* the GraphBLAS SandiaDot path (``spgemm_masked_dot`` in
+  :mod:`repro.sparse.spgemm`) materializes the per-edge counts into C and
+  reduces it afterwards.
+
+:func:`edge_supports` computes per-edge common-neighbor counts restricted
+to a set of rows and an aliveness filter, which is what the Gauss-Seidel
+Lonestar ktruss needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, gather_rows
+
+
+def count_triangles_lower(L: CSRMatrix, check_order: bool = True):
+    """Triangles via ordered listing on a lower-triangular pattern.
+
+    For every edge (i, j) in ``L`` (j < i), counts ``|L[i] ∩ L[j]|``.
+    Returns ``(ntri, work, row_work)`` where ``work`` counts merge
+    comparisons and ``row_work[i]`` is row i's share (the load-balance
+    weights of the counting loop).  With ``check_order`` the per-edge
+    ordering test (u > v > w) is included in the caller's instruction
+    accounting — Lonestar performs it at runtime where gb-ll's
+    preprocessing removed the need (§V-B "tc").
+    """
+    total = 0
+    work = 0
+    indptr, indices = L.indptr, L.indices
+    row_work = np.zeros(L.nrows, dtype=np.int64)
+    for i in range(L.nrows):
+        lo, hi = indptr[i], indptr[i + 1]
+        if lo == hi:
+            continue
+        row_i = indices[lo:hi]
+        cat, _, _ = gather_rows(L, row_i.astype(np.int64))
+        work += len(cat)
+        row_work[i] = len(cat)
+        if len(cat) == 0:
+            continue
+        pos = np.searchsorted(row_i, cat)
+        pos = np.minimum(pos, len(row_i) - 1)
+        total += int(np.count_nonzero(row_i[pos] == cat))
+    return total, work, row_work
+
+
+def edge_supports(
+    csr: CSRMatrix,
+    alive: np.ndarray,
+    rows: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, int]:
+    """Common-neighbor count per (alive) edge of the given rows.
+
+    ``alive`` is a boolean over csr entries; dead entries neither receive a
+    support value nor participate as wedges.  Returns
+    ``(supports, work, row_work)`` where ``supports`` is aligned with csr
+    entries (0 where dead or not in ``rows``) and ``row_work`` aligns with
+    ``rows``.
+    """
+    n = csr.nrows
+    indptr, indices = csr.indptr, csr.indices
+    supports = np.zeros(csr.nvals, dtype=np.int64)
+    work = 0
+    row_iter = range(n) if rows is None else np.asarray(rows)
+    row_work = np.zeros(len(row_iter) if rows is not None else n,
+                        dtype=np.int64)
+    for k, i in enumerate(row_iter):
+        lo, hi = indptr[i], indptr[i + 1]
+        if lo == hi:
+            continue
+        live_pos = np.flatnonzero(alive[lo:hi]) + lo
+        if len(live_pos) == 0:
+            continue
+        nbrs = indices[live_pos].astype(np.int64)
+        # Gather the (live) adjacency of every live neighbor.
+        cat, cat_positions, seg = gather_rows(csr, nbrs)
+        if len(cat) == 0:
+            continue
+        cat_live = alive[cat_positions]
+        cat = cat[cat_live]
+        seg = seg[cat_live]
+        work += len(cat)
+        row_work[k] = len(cat)
+        if len(cat) == 0:
+            continue
+        # Membership of each gathered neighbor in i's live adjacency.
+        pos = np.searchsorted(nbrs, cat)
+        pos = np.minimum(pos, len(nbrs) - 1)
+        matched = nbrs[pos] == cat
+        counts = np.bincount(seg[matched], minlength=len(nbrs))
+        supports[live_pos] = counts
+    return supports, work, row_work
+
+
+def twin_positions(csr: CSRMatrix) -> np.ndarray:
+    """For a symmetric pattern, the entry position of each entry's reverse.
+
+    ``twin[p]`` is the index of (col, row) given entry ``p`` = (row, col);
+    used to remove both orientations of an undirected edge together.
+    """
+    if csr.nvals == 0:
+        return np.empty(0, dtype=np.int64)
+    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64), np.diff(csr.indptr))
+    cols = csr.indices.astype(np.int64)
+    # CSR entries are sorted by (row, col), so the flattened keys are sorted
+    # ascending and each reversed key can be located with one binary search.
+    keys = rows * csr.ncols + cols
+    rev = cols * csr.ncols + rows
+    twin = np.searchsorted(keys, rev)
+    if twin.max(initial=0) >= csr.nvals or not np.array_equal(keys[twin], rev):
+        raise ValueError("matrix is not structurally symmetric")
+    return twin

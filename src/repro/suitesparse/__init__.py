@@ -1,0 +1,12 @@
+"""SuiteSparse:GraphBLAS analog — the paper's "SS" system (§III-A).
+
+A full implementation of the study's GraphBLAS API subset, with the cost
+characteristics of SuiteSparse 3.2.1 on OpenMP: vectors stored as 1-wide
+sparse matrices, every operation materializing a fresh output object,
+static/dynamic OpenMP scheduling, no huge pages, and on-demand allocation
+with slack (the Table III memory behaviour).
+"""
+
+from repro.suitesparse.backend import SS_ALLOC_SLACK, SuiteSparseBackend
+
+__all__ = ["SS_ALLOC_SLACK", "SuiteSparseBackend"]

@@ -1,0 +1,81 @@
+"""Unit tests for the tracking allocator (MRSS / OOM modeling)."""
+
+import pytest
+
+from repro.errors import InvalidValue, OutOfMemoryError
+from repro.perf.allocator import TrackingAllocator
+
+
+class TestBasics:
+    def test_live_and_peak(self):
+        a = TrackingAllocator()
+        h1 = a.allocate(100, "x")
+        h2 = a.allocate(200, "y")
+        assert a.live_bytes == 300
+        a.free(h1)
+        assert a.live_bytes == 200
+        assert a.mrss_bytes() == 300
+
+    def test_free_idempotent(self):
+        a = TrackingAllocator()
+        h = a.allocate(50)
+        a.free(h)
+        a.free(h)
+        assert a.live_bytes == 0
+
+    def test_negative_alloc(self):
+        with pytest.raises(InvalidValue):
+            TrackingAllocator().allocate(-1)
+
+    def test_stats(self):
+        a = TrackingAllocator()
+        a.allocate(10)
+        a.allocate(20)
+        assert a.total_allocations == 2
+        assert a.total_allocated_bytes == 30
+
+
+class TestSlack:
+    def test_slack_inflates_charges(self):
+        a = TrackingAllocator(slack_factor=1.5)
+        a.allocate(100)
+        assert a.live_bytes == 150
+
+    def test_slack_below_one_rejected(self):
+        with pytest.raises(InvalidValue):
+            TrackingAllocator(slack_factor=0.9)
+
+
+class TestPrealloc:
+    def test_prealloc_floor(self):
+        # Galois's preallocated pages dominate small-graph MRSS (§V-A3).
+        a = TrackingAllocator(prealloc_bytes=1000)
+        a.allocate(100)
+        assert a.resident_bytes() == 1000
+        assert a.mrss_bytes() == 1000
+
+    def test_growth_past_prealloc(self):
+        a = TrackingAllocator(prealloc_bytes=1000)
+        a.allocate(5000)
+        assert a.resident_bytes() == 5000
+
+
+class TestOOM:
+    def test_oom_raises_and_rolls_back(self):
+        a = TrackingAllocator(capacity_bytes=1000)
+        a.allocate(800)
+        with pytest.raises(OutOfMemoryError):
+            a.allocate(300)
+        assert a.live_bytes == 800  # failed allocation not charged
+
+    def test_oom_message_has_label(self):
+        a = TrackingAllocator(capacity_bytes=10)
+        with pytest.raises(OutOfMemoryError, match="big-matrix"):
+            a.allocate(100, "big-matrix")
+
+    def test_reset_peak(self):
+        a = TrackingAllocator()
+        h = a.allocate(100)
+        a.free(h)
+        a.reset_peak()
+        assert a.mrss_bytes() == 0

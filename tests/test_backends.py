@@ -1,0 +1,165 @@
+"""Backend-specific behaviour: the §III differences between SS and GB."""
+
+import numpy as np
+import pytest
+
+import repro.graphblas as gb
+from repro.galoisblas import GaloisBLASBackend
+from repro.graphblas.ops import LOR_LAND, PLUS_TIMES, binary, monoid
+from repro.graphblas.vector import (
+    REP_DENSE_ARRAY,
+    REP_ORDERED_MAP,
+    REP_SS_SPARSE,
+    REP_UNORDERED_LIST,
+)
+from repro.perf.costmodel import Schedule
+from repro.perf.machine import Machine
+from repro.suitesparse import SuiteSparseBackend
+
+from tests.conftest import pattern_matrix, random_digraph
+
+
+@pytest.fixture
+def csr():
+    return random_digraph(n=120, m=900)[0]
+
+
+class TestRuntimeFlavors:
+    def test_schedules(self):
+        ss = SuiteSparseBackend(Machine())
+        gbb = GaloisBLASBackend(Machine())
+        assert ss.runtime.default_schedule is Schedule.STATIC
+        assert gbb.runtime.default_schedule is Schedule.STEAL
+        assert ss._spmv_schedule("pull") is Schedule.DYNAMIC
+        assert ss._mxm_schedule() is Schedule.DYNAMIC
+        assert gbb._mxm_schedule() is None
+
+    def test_huge_pages(self):
+        assert not SuiteSparseBackend(Machine()).runtime.huge_pages
+        assert GaloisBLASBackend(Machine()).runtime.huge_pages
+
+    def test_call_overhead_relation(self):
+        # Per-GrB-call fixed costs are within the same order; both stacks
+        # are call-overhead-bound on round-dominated inputs (§V-B bfs).
+        assert SuiteSparseBackend.call_overhead_ns > 0
+        assert GaloisBLASBackend.call_overhead_ns > 0
+
+
+class TestVectorRepresentations:
+    def test_defaults(self):
+        ss = SuiteSparseBackend(Machine())
+        gbb = GaloisBLASBackend(Machine())
+        assert gb.Vector(ss, gb.BOOL, 8).rep == REP_SS_SPARSE
+        assert gb.Vector(gbb, gb.BOOL, 8).rep == REP_DENSE_ARRAY
+
+    def test_pick_rep(self):
+        gbb = GaloisBLASBackend(Machine())
+        assert gbb.pick_rep(1000, 900) == REP_DENSE_ARRAY
+        assert gbb.pick_rep(1000, 10, ordered=True) == REP_ORDERED_MAP
+        assert gbb.pick_rep(1000, 10) == REP_UNORDERED_LIST
+
+    def test_rep_lookup_cost(self):
+        gbb = GaloisBLASBackend(Machine())
+        dense = gb.Vector(gbb, gb.INT64, 100, rep=REP_DENSE_ARRAY)
+        omap = gb.Vector(gbb, gb.INT64, 100, rep=REP_ORDERED_MAP)
+        assert gbb._rep_lookup_instr(dense) == 0.0
+        assert gbb._rep_lookup_instr(omap) > 0.0
+
+
+class TestMaterializationModel:
+    def test_ss_materializes_per_op(self, csr):
+        """SuiteSparse allocates a fresh output per call; GaloisBLAS's
+        dense arrays mutate in place (paper limitation #2)."""
+        machines = {}
+        for name, cls in (("ss", SuiteSparseBackend),
+                          ("gb", GaloisBLASBackend)):
+            backend = cls(Machine())
+            v = gb.Vector(backend, gb.INT64, csr.nrows)
+            start = backend.machine.allocator.total_allocations
+            for _ in range(5):
+                gb.assign(v, 1)
+            machines[name] = (backend.machine.allocator.total_allocations
+                              - start)
+        assert machines["ss"] > machines["gb"]
+
+    def test_ss_slower_per_vector_op(self, csr):
+        times = {}
+        for name, cls in (("ss", SuiteSparseBackend),
+                          ("gb", GaloisBLASBackend)):
+            backend = cls(Machine())
+            v = gb.Vector(backend, gb.INT64, csr.nrows)
+            backend.machine.reset_measurement()
+            for _ in range(10):
+                gb.assign(v, 1)
+            times[name] = backend.machine.simulated_seconds()
+        assert times["ss"] > times["gb"]
+
+    def test_ss_mxm_inspector_allocations(self, csr):
+        ss = SuiteSparseBackend(Machine())
+        A = pattern_matrix(ss, csr)
+        C = gb.Matrix(ss, gb.FP64, csr.nrows, csr.ncols)
+        before = ss.machine.allocator.total_allocations
+        gb.mxm(C, A, A, PLUS_TIMES)
+        # inspector + workspace + output recharge (+ transposes if any).
+        assert ss.machine.allocator.total_allocations - before >= 3
+        # Temporaries were released.
+        assert ss.machine.allocator.live_bytes < ss.machine.allocator.peak_bytes
+
+
+class TestChargingEquivalence:
+    def test_same_results_different_costs(self, csr):
+        """The backends must agree numerically and differ only in cost."""
+        from repro.lagraph import bfs
+
+        outputs, times = [], []
+        for cls in (SuiteSparseBackend, GaloisBLASBackend):
+            backend = cls(Machine())
+            A = pattern_matrix(backend, csr)
+            backend.machine.reset_measurement()
+            outputs.append(bfs(backend, A, 0).dense_values())
+            times.append(backend.machine.simulated_seconds())
+        assert np.array_equal(outputs[0], outputs[1])
+        assert times[0] != times[1]
+
+    def test_diag_opt_cuts_mxm_work(self):
+        """GaloisBLAS's diagonal fast path does |B| work, not SpGEMM work."""
+        results = {}
+        for cls in (SuiteSparseBackend, GaloisBLASBackend):
+            backend = cls(Machine())
+            n = 200
+            D = gb.Matrix.from_coo(backend, gb.FP64, n, n,
+                                   np.arange(n), np.arange(n),
+                                   np.ones(n))
+            rng = np.random.default_rng(1)
+            B = gb.Matrix.from_coo(backend, gb.FP64, n, n,
+                                   rng.integers(0, n, 2000),
+                                   rng.integers(0, n, 2000),
+                                   np.ones(2000), dedup="last")
+            C = gb.Matrix(backend, gb.FP64, n, n)
+            backend.machine.reset_measurement()
+            gb.mxm(C, D, B, PLUS_TIMES)
+            results[cls.__name__] = backend.machine.counters.instructions
+        assert (results["GaloisBLASBackend"]
+                < results["SuiteSparseBackend"] / 2)
+
+    def test_mask_bytes_charged_in_push(self, csr):
+        """Masked push mxv pays per-candidate mask reads (Table IV)."""
+        backend = GaloisBLASBackend(Machine())
+        A = pattern_matrix(backend, csr)
+        frontier = gb.Vector(backend, gb.BOOL, csr.nrows)
+        frontier.set_element(0, True)
+        dist = gb.Vector(backend, gb.INT32, csr.nrows)
+        gb.assign(dist, 0)
+        backend.machine.reset_measurement()
+        gb.vxm(frontier, frontier, A, LOR_LAND, mask=dist,
+               desc=gb.Descriptor(mask_comp=True, replace=True))
+        masked_mem = backend.machine.counters.memory_accesses()
+
+        backend2 = GaloisBLASBackend(Machine())
+        A2 = pattern_matrix(backend2, csr)
+        f2 = gb.Vector(backend2, gb.BOOL, csr.nrows)
+        f2.set_element(0, True)
+        backend2.machine.reset_measurement()
+        gb.vxm(f2, f2, A2, LOR_LAND)
+        unmasked_mem = backend2.machine.counters.memory_accesses()
+        assert masked_mem > unmasked_mem

@@ -1,0 +1,101 @@
+"""Betweenness centrality (extension problem) on both stacks."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro.graphblas as gb
+from repro.galois.graph import Graph
+from repro.lagraph import betweenness_centrality as la_bc
+from repro.lonestar import betweenness_centrality as ls_bc
+from repro.perf.machine import Machine
+from repro.runtime.galois_rt import GaloisRuntime
+
+from tests.conftest import pattern_matrix, random_digraph
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    csr, _ = random_digraph(n=90, m=450, seed=11)
+    import networkx as nx
+
+    rows = np.repeat(np.arange(csr.nrows), np.diff(csr.indptr))
+    G = nx.DiGraph()
+    G.add_nodes_from(range(csr.nrows))
+    G.add_edges_from(zip(rows.tolist(), csr.indices.tolist()))
+    ref = nx.betweenness_centrality(G, normalized=False)
+    return csr, ref
+
+
+def fresh_graph(csr):
+    return Graph(GaloisRuntime(Machine()), csr)
+
+
+class TestLonestarBC:
+    def test_exact_all_sources(self, oracle):
+        csr, ref = oracle
+        got = ls_bc(fresh_graph(csr), range(csr.nrows))
+        assert all(abs(got[v] - ref[v]) < 1e-9 for v in range(csr.nrows))
+
+    def test_partial_batch_is_partial(self, oracle):
+        csr, ref = oracle
+        partial = ls_bc(fresh_graph(csr), [0, 1, 2])
+        full = ls_bc(fresh_graph(csr), range(csr.nrows))
+        assert partial.sum() <= full.sum() + 1e-9
+
+    def test_star_center(self):
+        from repro.sparse.csr import build_csr
+
+        # Star: all paths 1->k->j pass through the center 0.
+        leaves = np.arange(1, 6)
+        src = np.concatenate([leaves, np.zeros(5, dtype=np.int64)])
+        dst = np.concatenate([np.zeros(5, dtype=np.int64), leaves])
+        csr = build_csr(6, 6, src, dst, None)
+        got = ls_bc(fresh_graph(csr), range(6))
+        assert got[0] == pytest.approx(5 * 4)  # ordered leaf pairs
+        assert np.allclose(got[1:], 0.0)
+
+
+class TestLAGraphBC:
+    def test_exact_all_sources(self, backend, oracle):
+        csr, ref = oracle
+        A = pattern_matrix(backend, csr)
+        got = la_bc(backend, A, range(csr.nrows)).dense_values()
+        assert all(abs(got[v] - ref[v]) < 1e-9 for v in range(csr.nrows))
+
+    def test_matches_lonestar_on_batch(self, backend, oracle):
+        csr, _ = oracle
+        batch = [3, 17, 42]
+        A = pattern_matrix(backend, csr)
+        la = la_bc(backend, A, batch).dense_values()
+        ls = ls_bc(fresh_graph(csr), batch)
+        assert np.allclose(la, ls)
+
+    def test_materializes_per_level_sigmas(self, gb_backend, oracle):
+        """The matrix-API BC retains one sigma vector per BFS level: its
+        allocation count grows with the depth (limitation #2)."""
+        csr, _ = oracle
+        A = pattern_matrix(gb_backend, csr)
+        start = gb_backend.machine.allocator.total_allocations
+        la_bc(gb_backend, A, [0])
+        la_allocs = gb_backend.machine.allocator.total_allocations - start
+
+        g = fresh_graph(csr)
+        start_allocs = g.runtime.machine.allocator.total_allocations
+        ls_bc(g, [0])
+        ls_allocs = (g.runtime.machine.allocator.total_allocations
+                     - start_allocs)
+        assert la_allocs > ls_allocs
+
+    def test_matrix_api_slower(self, gb_backend, oracle):
+        csr, _ = oracle
+        A = pattern_matrix(gb_backend, csr)
+        gb_backend.machine.reset_measurement()
+        la_bc(gb_backend, A, [0, 1])
+        t_matrix = gb_backend.machine.simulated_seconds()
+
+        g = fresh_graph(csr)
+        g.runtime.machine.reset_measurement()
+        ls_bc(g, [0, 1])
+        t_graph = g.runtime.machine.simulated_seconds()
+        assert t_graph < t_matrix

@@ -1,0 +1,126 @@
+"""Parent BFS variants, submatrix extract, and the explain CLI."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro.graphblas as gb
+from repro.errors import DimensionMismatch, InvalidValue
+from repro.galois.graph import Graph
+from repro.lagraph import bfs_parent as la_parent
+from repro.lonestar import bfs as ls_bfs
+from repro.lonestar import bfs_parent as ls_parent
+from repro.perf.machine import Machine
+from repro.runtime.galois_rt import GaloisRuntime
+
+from tests.conftest import pattern_matrix, random_digraph
+
+
+@pytest.fixture(scope="module")
+def graph_pair():
+    csr, _ = random_digraph(n=150, m=700, seed=7)
+    return csr
+
+
+def fresh(csr):
+    return Graph(GaloisRuntime(Machine()), csr)
+
+
+class TestParentBfs:
+    def test_parent_validity(self, graph_pair):
+        csr = graph_pair
+        levels = ls_bfs(fresh(csr), 0)
+        parent = ls_parent(fresh(csr), 0)
+        for v in range(csr.nrows):
+            if v == 0:
+                assert parent[v] == 0
+            elif levels[v] > 0:
+                p = parent[v]
+                assert levels[p] == levels[v] - 1
+                assert csr.get(int(p), v) is not None
+            else:
+                assert parent[v] == -1
+
+    def test_stacks_agree(self, graph_pair, backend):
+        csr = graph_pair
+        ls = ls_parent(fresh(csr), 3)
+        pv = la_parent(backend, pattern_matrix(backend, csr), 3)
+        la = np.where(pv.present_mask(), pv.dense_values(fill=-1), -1)
+        assert np.array_equal(ls, la)
+
+    def test_min_predecessor_tiebreak(self, backend):
+        from repro.sparse.csr import build_csr
+
+        # Both 1 and 2 reach 3 at the same level: parent must be 1.
+        csr = build_csr(4, 4, [0, 0, 1, 2], [1, 2, 3, 3], None)
+        parent = ls_parent(fresh(csr), 0)
+        assert parent[3] == 1
+        pv = la_parent(backend, pattern_matrix(backend, csr), 0)
+        assert pv.extract_element(3) == 1
+
+    def test_isolated_source(self):
+        from repro.sparse.csr import build_csr
+
+        csr = build_csr(3, 3, [1], [2], None)
+        parent = ls_parent(fresh(csr), 0)
+        assert parent[0] == 0 and parent[1] == -1
+
+
+class TestExtractMatrix:
+    @pytest.fixture
+    def matrix(self, backend):
+        M = sp.random(12, 12, density=0.3, random_state=2).tocsr()
+        M.data = np.round(M.data * 9) + 1
+        coo = M.tocoo()
+        A = gb.Matrix.from_coo(backend, gb.FP64, 12, 12, coo.row, coo.col,
+                               coo.data)
+        return A, M
+
+    def test_fancy_index_equivalence(self, backend, matrix):
+        A, M = matrix
+        I, J = [3, 0, 7], [1, 5, 9, 2]
+        C = gb.Matrix(backend, gb.FP64, len(I), len(J))
+        gb.extractMatrix(C, A, I, J)
+        assert np.allclose(C.csr.to_scipy().toarray(),
+                           M.toarray()[np.ix_(I, J)])
+
+    def test_duplicate_indices_replicate(self, backend, matrix):
+        A, M = matrix
+        I, J = [7, 7], [1, 1]
+        C = gb.Matrix(backend, gb.FP64, 2, 2)
+        gb.extractMatrix(C, A, I, J)
+        assert np.allclose(C.csr.to_scipy().toarray(),
+                           M.toarray()[np.ix_(I, J)])
+
+    def test_grb_all(self, backend, matrix):
+        A, M = matrix
+        C = gb.Matrix(backend, gb.FP64, 12, 12)
+        gb.extractMatrix(C, A, gb.GrB_ALL, gb.GrB_ALL)
+        assert np.allclose(C.csr.to_scipy().toarray(), M.toarray())
+
+    def test_shape_checked(self, backend, matrix):
+        A, _ = matrix
+        with pytest.raises(DimensionMismatch):
+            gb.extractMatrix(gb.Matrix(backend, gb.FP64, 2, 2), A, [0], [0])
+
+    def test_range_checked(self, backend, matrix):
+        A, _ = matrix
+        with pytest.raises(InvalidValue):
+            gb.extractMatrix(gb.Matrix(backend, gb.FP64, 1, 1), A, [99], [0])
+
+    def test_empty_selection(self, backend, matrix):
+        A, _ = matrix
+        C = gb.Matrix(backend, gb.FP64, 0, 0)
+        gb.extractMatrix(C, A, [], [])
+        assert C.nvals == 0
+
+
+class TestExplainCli:
+    def test_explain_target(self, capsys):
+        from repro.core.runner import main
+
+        assert main(["explain", "--system", "LS", "--graphs", "road-USA-W",
+                     "--apps", "bfs"]) == 0
+        out = capsys.readouterr().out
+        assert "time breakdown" in out
+        assert "fixed (launch/barrier/call)" in out

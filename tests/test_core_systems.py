@@ -1,0 +1,163 @@
+"""Systems, experiment cells, and failure modeling.
+
+These run real (small) dataset cells, so they double as integration tests
+of the full stack: dataset -> system instance -> algorithm -> machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import (
+    OK,
+    OOM,
+    TIMEOUT,
+    CellResult,
+    clear_cache,
+    load_results,
+    run_cell,
+    save_results,
+)
+from repro.core.systems import SYSTEMS, SystemInstance, make_system
+from repro.errors import InvalidValue
+from repro.graphs.datasets import get_dataset
+
+SMALL = "road-USA-W"
+
+
+class TestSystemFactory:
+    def test_known_codes(self):
+        for code in SYSTEMS:
+            assert make_system(code).code == code
+
+    def test_unknown_code(self):
+        with pytest.raises(InvalidValue):
+            make_system("GPU")
+
+    def test_instance_wiring(self):
+        ds = get_dataset(SMALL)
+        ss = SystemInstance("SS", ds)
+        assert ss.backend.name == "suitesparse"
+        assert ss.runtime.name == "openmp"
+        gbi = SystemInstance("GB", ds)
+        assert gbi.backend.name == "galoisblas"
+        assert gbi.runtime.huge_pages
+        ls = SystemInstance("LS", ds)
+        assert ls.backend is None
+        assert ls.runtime.name == "galois"
+
+    def test_allocator_flavors(self):
+        ds = get_dataset(SMALL)
+        ss = SystemInstance("SS", ds)
+        gbi = SystemInstance("GB", ds)
+        assert ss.machine.allocator.slack_factor > 1.0
+        assert gbi.machine.allocator.prealloc_bytes > 0
+        assert ss.machine.allocator.prealloc_bytes == 0
+
+    def test_byte_and_time_scale_from_dataset(self):
+        ds = get_dataset(SMALL)
+        inst = SystemInstance("LS", ds)
+        assert inst.machine.hierarchy.byte_scale == pytest.approx(ds.scale)
+        assert inst.machine.time_scale == pytest.approx(ds.scale)
+
+    def test_unknown_app(self):
+        inst = SystemInstance("LS", get_dataset(SMALL))
+        with pytest.raises(InvalidValue):
+            inst.run("apsp")
+
+
+class TestRunCell:
+    def test_cell_result_fields(self):
+        r = run_cell("LS", "bfs", SMALL)
+        assert r.status == OK
+        assert r.seconds > 0
+        assert r.mrss_gb > 0
+        assert r.counters["instructions"] > 0
+        assert r.display() == f"{r.seconds:.2f}"
+
+    def test_memoized(self):
+        a = run_cell("LS", "bfs", SMALL)
+        b = run_cell("LS", "bfs", SMALL)
+        assert a is b
+
+    def test_thread_sweep(self):
+        clear_cache()
+        r = run_cell("LS", "bfs", SMALL, sweep_threads=True)
+        assert set(r.thread_sweep) == {1, 2, 4, 8, 16, 32, 56}
+        assert r.thread_sweep[1] >= r.thread_sweep[56]
+
+    def test_timeout_status(self):
+        clear_cache()
+        r = run_cell("GB", "sssp", SMALL, timeout=0.001, use_cache=False)
+        assert r.status == TIMEOUT
+        assert r.seconds is None
+        assert r.display() == "TO"
+
+    def test_save_load_roundtrip(self, tmp_path):
+        clear_cache()
+        run_cell("LS", "bfs", SMALL)
+        path = str(tmp_path / "cells.json")
+        save_results(path)
+        clear_cache()
+        assert load_results(path) >= 1
+        r = run_cell("LS", "bfs", SMALL)
+        assert r.status == OK
+
+    def test_load_missing_file(self, tmp_path):
+        assert load_results(str(tmp_path / "nope.json")) == 0
+
+
+class TestCrossSystemAnswers:
+    """The three stacks must compute identical answers (paper's premise)."""
+
+    @pytest.mark.parametrize("app", ["bfs", "cc", "pr", "sssp", "tc",
+                                     "ktruss"])
+    def test_answers_agree(self, app):
+        results = [run_cell(s, app, SMALL) for s in SYSTEMS]
+        assert all(r.status == OK for r in results)
+        answers = {r.answer for r in results}
+        assert len(answers) == 1, f"{app}: {[(r.system, r.answer) for r in results]}"
+
+    def test_rmat22_answers_agree_bfs_cc_tc(self):
+        for app in ("bfs", "cc", "tc"):
+            answers = {run_cell(s, app, "rmat22").answer for s in SYSTEMS}
+            assert len(answers) == 1
+
+
+class TestPerformanceShape:
+    """The paper's headline orderings on representative cells."""
+
+    def test_lonestar_fastest_sssp_on_road(self):
+        times = {s: run_cell(s, "sssp", SMALL).seconds for s in SYSTEMS}
+        assert times["LS"] < times["GB"] <= times["SS"] * 1.5
+        # Asynchrony: >10x on the high-diameter road network (paper >100x).
+        assert times["GB"] / times["LS"] > 10
+
+    def test_lonestar_fastest_bfs_on_road(self):
+        times = {s: run_cell(s, "bfs", SMALL).seconds for s in SYSTEMS}
+        assert times["LS"] < times["GB"]
+        assert times["LS"] < times["SS"]
+
+    def test_afforest_beats_matrix_cc(self):
+        times = {s: run_cell(s, "cc", SMALL).seconds for s in SYSTEMS}
+        assert times["LS"] * 1.5 < min(times["SS"], times["GB"])
+
+    def test_gb_mostly_beats_ss(self):
+        wins = 0
+        for app in ("bfs", "cc", "pr", "sssp"):
+            ss = run_cell("SS", app, SMALL).seconds
+            gbt = run_cell("GB", app, SMALL).seconds
+            wins += gbt <= ss
+        assert wins >= 3
+
+    def test_counters_gb_heavier_than_ls(self):
+        gb_c = run_cell("GB", "bfs", SMALL).counters
+        ls_c = run_cell("LS", "bfs", SMALL).counters
+        assert gb_c["instructions"] > ls_c["instructions"]
+        assert gb_c["loops"] > ls_c["loops"]
+
+    def test_mrss_prealloc_dominates_small_graph(self):
+        # Table III: GB/LS MRSS above SS's on small graphs.
+        ss = run_cell("SS", "bfs", SMALL).mrss_gb
+        gbm = run_cell("GB", "bfs", SMALL).mrss_gb
+        ls = run_cell("LS", "bfs", SMALL).mrss_gb
+        assert gbm > ss and ls > ss

@@ -1,0 +1,157 @@
+"""Unit tests for the CSR storage layer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import DimensionMismatch, IndexOutOfBounds, InvalidValue
+from repro.sparse.csr import CSRMatrix, build_csr, gather_rows
+
+
+@pytest.fixture
+def small():
+    # 4x5 matrix with a mix of row densities.
+    rows = [0, 0, 1, 3, 3, 3]
+    cols = [1, 4, 0, 0, 2, 4]
+    vals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    return build_csr(4, 5, rows, cols, np.array(vals))
+
+
+class TestBuild:
+    def test_shape_and_nvals(self, small):
+        assert (small.nrows, small.ncols) == (4, 5)
+        assert small.nvals == 6
+
+    def test_rows_sorted(self, small):
+        for i in range(small.nrows):
+            cols, _ = small.row(i)
+            assert np.all(np.diff(cols) > 0)
+
+    def test_empty_row(self, small):
+        cols, vals = small.row(2)
+        assert len(cols) == 0 and len(vals) == 0
+
+    def test_get_present_and_absent(self, small):
+        assert small.get(0, 4) == 2.0
+        assert small.get(0, 3) is None
+
+    def test_row_out_of_range(self, small):
+        with pytest.raises(IndexOutOfBounds):
+            small.row(4)
+
+    def test_col_index_out_of_range(self):
+        with pytest.raises(IndexOutOfBounds):
+            build_csr(2, 2, [0], [5], None)
+
+    def test_row_index_negative(self):
+        with pytest.raises(IndexOutOfBounds):
+            build_csr(2, 2, [-1], [0], None)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DimensionMismatch):
+            build_csr(2, 2, [0, 1], [0], None)
+
+    def test_dedup_last(self):
+        m = build_csr(2, 2, [0, 0], [1, 1], np.array([5.0, 9.0]),
+                      dedup="last")
+        assert m.nvals == 1
+        assert m.get(0, 1) == 9.0
+
+    def test_dedup_sum(self):
+        m = build_csr(2, 2, [0, 0], [1, 1], np.array([5.0, 9.0]),
+                      dedup="sum")
+        assert m.get(0, 1) == 14.0
+
+    def test_dedup_min(self):
+        m = build_csr(2, 2, [0, 0, 1], [1, 1, 0],
+                      np.array([5.0, 2.0, 7.0]), dedup="min")
+        assert m.get(0, 1) == 2.0
+        assert m.get(1, 0) == 7.0
+
+    def test_dedup_error(self):
+        with pytest.raises(InvalidValue):
+            build_csr(2, 2, [0, 0], [1, 1], np.array([1.0, 2.0]),
+                      dedup="error")
+
+    def test_pattern_only(self):
+        m = build_csr(3, 3, [0, 1], [1, 2], None)
+        assert m.values is None
+        assert m.get(0, 1) is True
+        assert np.all(m.value_array() == 1)
+
+
+class TestTransforms:
+    def test_transpose_matches_scipy(self, small):
+        t = small.transpose()
+        ref = small.to_scipy().T.tocsr()
+        assert (t.to_scipy() != ref).nnz == 0
+
+    def test_transpose_twice_is_identity(self, small):
+        tt = small.transpose().transpose()
+        assert (tt.to_scipy() != small.to_scipy()).nnz == 0
+
+    def test_tril_triu_partition(self):
+        m = build_csr(5, 5, [0, 1, 2, 3, 2], [1, 0, 2, 1, 4],
+                      np.arange(5, dtype=np.float64))
+        low = m.extract_tril(strict=True)
+        up = m.extract_triu(strict=True)
+        diag = m.nvals - low.nvals - up.nvals
+        assert diag == 1  # the (2,2) entry
+        assert low.nvals + up.nvals + 1 == m.nvals
+
+    def test_filter_entries(self, small):
+        keep = small.value_array() > 3.0
+        f = small.filter_entries(keep)
+        assert f.nvals == 3
+        assert f.get(3, 2) == 5.0
+
+    def test_filter_wrong_length(self, small):
+        with pytest.raises(DimensionMismatch):
+            small.filter_entries(np.ones(2, dtype=bool))
+
+    def test_permute_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m = build_csr(6, 6, rng.integers(0, 6, 12), rng.integers(0, 6, 12),
+                      None)
+        perm = rng.permutation(6).astype(np.int64)
+        p = m.permute(perm)
+        ref = m.to_scipy().toarray()[np.ix_(perm, perm)]
+        assert np.array_equal(p.to_scipy().toarray(), ref)
+
+    def test_permute_requires_square(self, small):
+        with pytest.raises(DimensionMismatch):
+            small.permute(np.arange(4))
+
+    def test_copy_is_deep(self, small):
+        c = small.copy()
+        c.values[0] = 99
+        assert small.values[0] != 99
+
+    def test_nbytes_counts_values(self, small):
+        pattern = CSRMatrix(small.nrows, small.ncols, small.indptr,
+                            small.indices, None)
+        assert small.nbytes > pattern.nbytes
+
+
+class TestGatherRows:
+    def test_matches_manual_concatenation(self, small):
+        rows = np.array([3, 0, 3])
+        cols, positions, seg = gather_rows(small, rows)
+        expected = np.concatenate([small.row(3)[0], small.row(0)[0],
+                                   small.row(3)[0]])
+        assert np.array_equal(cols, expected)
+        assert np.array_equal(small.indices[positions], cols)
+
+    def test_segment_ids(self, small):
+        rows = np.array([0, 2, 3])
+        _, _, seg = gather_rows(small, rows)
+        # row 0 has 2 entries, row 2 none, row 3 three.
+        assert np.array_equal(seg, [0, 0, 2, 2, 2])
+
+    def test_empty_request(self, small):
+        cols, positions, seg = gather_rows(small, np.array([], dtype=np.int64))
+        assert len(cols) == len(positions) == len(seg) == 0
+
+    def test_all_empty_rows(self, small):
+        cols, _, _ = gather_rows(small, np.array([2, 2]))
+        assert len(cols) == 0

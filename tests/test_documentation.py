@@ -1,0 +1,59 @@
+"""Documentation contract: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SRC = pathlib.Path(repro.__file__).parent
+
+
+def all_modules():
+    names = []
+    for info in pkgutil.walk_packages([str(SRC)], prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_module_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), \
+        f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_public_members_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exports are documented at their definition
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+            continue
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not (
+                        meth.__doc__ and meth.__doc__.strip()):
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, \
+        f"{module_name}: undocumented public items: {undocumented}"
+
+
+def test_docs_exist():
+    root = SRC.parent.parent
+    for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                "docs/MODEL.md"):
+        path = root / doc
+        assert path.exists() and path.stat().st_size > 500, doc

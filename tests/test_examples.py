@@ -1,0 +1,51 @@
+"""Smoke-run every example script (they are part of the public surface)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, args=()):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=420,
+    )
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "both APIs agree" in proc.stdout
+    assert "simulated seconds" in proc.stdout
+
+
+def test_road_navigation():
+    proc = run_example("road_navigation.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "all variants agree" in proc.stdout
+    assert "bulk-synchronous" in proc.stdout
+
+
+def test_web_community_analysis():
+    proc = run_example("web_community_analysis.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "triangles" in proc.stdout
+    assert "truss core" in proc.stdout
+
+
+def test_api_comparison_study():
+    proc = run_example("api_comparison_study.py", ["road-USA-W", "rmat22"])
+    assert proc.returncode == 0, proc.stderr
+    assert "average speedups" in proc.stdout
+    assert "Lonestar over SuiteSparse" in proc.stdout
+
+
+def test_key_actors():
+    proc = run_example("key_actors.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "couriers" in proc.stdout
+    assert "top actors by betweenness" in proc.stdout

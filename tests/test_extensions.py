@@ -1,0 +1,131 @@
+"""Extension features: direction-optimizing bfs, Dijkstra, fused backend."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro.graphblas as gb
+from repro.galois.graph import Graph
+from repro.galoisblas import GaloisBLASBackend
+from repro.galoisblas.fused import FUSABLE, FusedGaloisBLASBackend
+from repro.lagraph import bfs as lagraph_bfs
+from repro.lagraph import fastsv
+from repro.lonestar import bfs, bfs_direction_optimizing, delta_stepping, dijkstra
+from repro.perf.machine import Machine
+from repro.runtime.galois_rt import GaloisRuntime
+
+from tests.conftest import nx_digraph, pattern_matrix, random_digraph
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    csr, sym = random_digraph(n=200, m=2500)
+    return csr, sym
+
+
+def fresh_graph(csr, weights=None):
+    return Graph(GaloisRuntime(Machine()), csr, weights)
+
+
+class TestDirectionOptimizingBfs:
+    def test_matches_baseline(self, oracle):
+        csr = oracle[0]
+        for source in (0, 7, 123):
+            a = bfs(fresh_graph(csr), source)
+            b = bfs_direction_optimizing(fresh_graph(csr), source)
+            assert np.array_equal(a, b)
+
+    def test_pull_rounds_engage_on_dense_frontier(self, oracle):
+        # On a dense random digraph the middle round flips to pull and
+        # scans fewer edges than full push would.
+        csr = oracle[0]
+        g = fresh_graph(csr)
+        bfs_direction_optimizing(g, 0)
+        g2 = fresh_graph(csr)
+        bfs(g2, 0)
+        do_items = g.runtime.machine.counters.work_items
+        assert do_items != g2.runtime.machine.counters.work_items
+
+    def test_isolated_source(self):
+        from repro.sparse.csr import build_csr
+
+        csr = build_csr(4, 4, [1, 2], [2, 3], None)
+        d = bfs_direction_optimizing(fresh_graph(csr), 0)
+        assert d[0] == 1 and d[1] == 0
+
+
+class TestDijkstra:
+    def test_matches_delta_stepping(self, oracle):
+        csr = oracle[0]
+        a = dijkstra(fresh_graph(csr, csr.values), 0)
+        b = delta_stepping(fresh_graph(csr, csr.values), 0, delta=32)
+        assert np.array_equal(a, b)
+
+    def test_matches_networkx(self, oracle):
+        csr = oracle[0]
+        d = dijkstra(fresh_graph(csr, csr.values), 5)
+        ref = nx.single_source_dijkstra_path_length(nx_digraph(csr), 5)
+        inf = np.iinfo(np.int64).max
+        assert all(d[v] == ref.get(v, inf) for v in range(csr.nrows))
+
+    def test_requires_weights(self, oracle):
+        with pytest.raises(ValueError):
+            dijkstra(fresh_graph(oracle[0]), 0)
+
+    def test_charged_serially_without_barriers(self, oracle):
+        csr = oracle[0]
+        g = fresh_graph(csr, csr.values)
+        dijkstra(g, 0)
+        # Only the distance-array initialization is a barrier loop; the
+        # priority-queue processing is one barrier-free worklist charge.
+        barriers = [r for r in g.runtime.machine.loop_records if r.barrier]
+        assert len(barriers) <= 1
+
+
+class TestFusedBackend:
+    def test_results_identical(self, oracle):
+        csr = oracle[0]
+        out = []
+        for cls in (GaloisBLASBackend, FusedGaloisBLASBackend):
+            backend = cls(Machine())
+            A = pattern_matrix(backend, csr)
+            out.append(lagraph_bfs(backend, A, 0).dense_values())
+        assert np.array_equal(out[0], out[1])
+
+    def test_fusion_reduces_time_and_loops(self, oracle):
+        csr = oracle[0]
+        machines = {}
+        for name, cls in (("plain", GaloisBLASBackend),
+                          ("fused", FusedGaloisBLASBackend)):
+            backend = cls(Machine())
+            A = pattern_matrix(backend, csr)
+            backend.machine.reset_measurement()
+            lagraph_bfs(backend, A, 0)
+            machines[name] = backend
+        assert (machines["fused"].machine.simulated_seconds()
+                < machines["plain"].machine.simulated_seconds())
+        assert machines["fused"].fused_calls > 0
+
+    def test_fastsv_on_fused_backend(self, oracle):
+        sym = oracle[1]
+        backend = FusedGaloisBLASBackend(Machine())
+        A = pattern_matrix(backend, sym, "Asym")
+        labels = fastsv(backend, A).dense_values()
+        plain = GaloisBLASBackend(Machine())
+        ref = fastsv(plain, pattern_matrix(plain, sym, "Asym")).dense_values()
+        assert np.array_equal(labels, ref)
+
+    def test_mxm_breaks_chain(self):
+        backend = FusedGaloisBLASBackend(Machine())
+        assert "mxm" not in FUSABLE
+        v = gb.Vector(backend, gb.INT64, 8)
+        gb.assign(v, 1)
+        gb.assign(v, 2)  # fused with the previous assign
+        assert backend.fused_calls == 1
+        A = gb.Matrix.from_coo(backend, gb.FP64, 8, 8, [0], [1], [1.0])
+        C = gb.Matrix(backend, gb.FP64, 8, 8)
+        from repro.graphblas.ops import PLUS_TIMES
+
+        gb.mxm(C, A, A, PLUS_TIMES)
+        gb.assign(v, 3)  # chain broken by mxm: not fused
+        assert backend.fused_calls == 1

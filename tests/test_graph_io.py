@@ -1,0 +1,124 @@
+"""Round-trip tests for the graph interchange formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValue
+from repro.graphs.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.sparse.csr import build_csr
+
+
+@pytest.fixture
+def weighted():
+    return build_csr(5, 5, [0, 1, 4, 2], [1, 2, 0, 2],
+                     np.array([7, 3, 9, 1], dtype=np.int64))
+
+
+@pytest.fixture
+def pattern():
+    return build_csr(4, 4, [0, 3], [2, 1], None)
+
+
+class TestEdgeList:
+    def test_weighted_roundtrip(self, tmp_path, weighted):
+        path = str(tmp_path / "g.wel")
+        write_edge_list(path, weighted, weighted.values)
+        csr, w = read_edge_list(path)
+        assert (csr.to_scipy() != weighted.to_scipy()).nnz == 0
+
+    def test_pattern_roundtrip(self, tmp_path, pattern):
+        path = str(tmp_path / "g.el")
+        write_edge_list(path, pattern)
+        csr, w = read_edge_list(path)
+        assert w is None
+        assert csr.nvals == pattern.nvals
+
+    def test_explicit_nnodes(self, tmp_path, pattern):
+        path = str(tmp_path / "g.el")
+        write_edge_list(path, pattern)
+        csr, _ = read_edge_list(path, nnodes=10)
+        assert csr.nrows == 10
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("# header\n0 1\n\n1 2\n")
+        csr, _ = read_edge_list(str(path))
+        assert csr.nvals == 2
+
+    def test_mixed_weighting_rejected(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1\n1 2 5\n")
+        with pytest.raises(InvalidValue):
+            read_edge_list(str(path))
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(InvalidValue):
+            read_edge_list(str(path))
+
+    def test_weights_length_checked(self, tmp_path, weighted):
+        with pytest.raises(InvalidValue):
+            write_edge_list(str(tmp_path / "g.wel"), weighted,
+                            np.array([1]))
+
+
+class TestMatrixMarket:
+    def test_integer_roundtrip(self, tmp_path, weighted):
+        path = str(tmp_path / "g.mtx")
+        write_matrix_market(path, weighted, comment="test graph")
+        csr, w = read_matrix_market(path)
+        assert (csr.to_scipy() != weighted.to_scipy()).nnz == 0
+        assert w.dtype == np.int64
+
+    def test_pattern_roundtrip(self, tmp_path, pattern):
+        path = str(tmp_path / "g.mtx")
+        write_matrix_market(path, pattern)
+        csr, w = read_matrix_market(path)
+        assert w is None and csr.nvals == pattern.nvals
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern symmetric\n"
+                        "3 3 2\n2 1\n3 2\n")
+        csr, _ = read_matrix_market(str(path))
+        assert csr.nvals == 4
+        assert csr.get(0, 1) is True and csr.get(1, 0) is True
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%NotMatrixMarket\n1 1 0\n")
+        with pytest.raises(InvalidValue):
+            read_matrix_market(str(path))
+
+    def test_unsupported_field(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate complex general\n"
+                        "1 1 0\n")
+        with pytest.raises(InvalidValue):
+            read_matrix_market(str(path))
+
+    def test_real_field(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n1 2 3.5\n")
+        csr, w = read_matrix_market(str(path))
+        assert w[0] == 3.5
+
+    def test_usable_as_dataset(self, tmp_path, weighted):
+        # A file-loaded graph drives the full stack.
+        from repro.galois.graph import Graph
+        from repro.lonestar import bfs
+        from repro.perf.machine import Machine
+        from repro.runtime.galois_rt import GaloisRuntime
+
+        path = str(tmp_path / "g.mtx")
+        write_matrix_market(path, weighted)
+        csr, w = read_matrix_market(path)
+        dist = bfs(Graph(GaloisRuntime(Machine()), csr), 0)
+        assert dist[0] == 1

@@ -1,0 +1,184 @@
+"""Unit tests for GraphBLAS types, operators, Vector and Matrix objects."""
+
+import numpy as np
+import pytest
+
+import repro.graphblas as gb
+from repro.errors import (
+    DimensionMismatch,
+    IndexOutOfBounds,
+    InvalidValue,
+    NoValue,
+)
+from repro.graphblas.types import type_of
+from repro.graphblas.ops import binary, monoid, semiring, unary
+
+
+class TestTypes:
+    def test_lookup_by_name(self):
+        assert type_of("int32") is gb.INT32
+        assert type_of("GrB_FP64") is gb.FP64
+
+    def test_lookup_by_dtype(self):
+        assert type_of(np.dtype(np.bool_)) is gb.BOOL
+
+    def test_lookup_passthrough(self):
+        assert type_of(gb.INT64) is gb.INT64
+
+    def test_unknown(self):
+        with pytest.raises(InvalidValue):
+            type_of("int7")
+
+    def test_max_value(self):
+        assert gb.INT32.max_value() == np.iinfo(np.int32).max
+        assert gb.FP64.max_value() == np.inf
+        assert gb.BOOL.max_value() is True
+
+    def test_itemsize(self):
+        assert gb.INT64.itemsize == 8
+
+
+class TestOperators:
+    def test_semiring_parsing(self):
+        s = semiring("min_plus")
+        assert s.add.name == "min" and s.mult.name == "plus"
+
+    def test_semiring_with_underscore_mult(self):
+        # 'first'/'second'/'pair' parse as the mult part.
+        assert semiring("plus_pair").mult.name == "pair"
+
+    def test_semiring_bad_name(self):
+        with pytest.raises(InvalidValue):
+            semiring("minplus")
+
+    def test_bind_first_second(self):
+        op = binary("minus")
+        assert op.bind_first(10).apply(np.array([3]))[0] == 7
+        assert op.bind_second(10).apply(np.array([3]))[0] == -7
+
+    def test_unary_ops(self):
+        assert unary("lnot").apply(np.array([True]))[0] == False  # noqa: E712
+        assert unary("ainv").apply(np.array([2]))[0] == -2
+        with pytest.raises(InvalidValue):
+            unary("square")
+
+    def test_monoid_as_binary(self):
+        assert monoid("min").as_binary().apply(3, 5) == 3
+
+
+class TestVector:
+    def test_set_extract_remove(self, backend):
+        v = gb.Vector(backend, gb.INT32, 10)
+        v.set_element(3, 7)
+        assert v.extract_element(3) == 7
+        assert v.nvals == 1
+        v.remove_element(3)
+        with pytest.raises(NoValue):
+            v.extract_element(3)
+
+    def test_index_bounds(self, backend):
+        v = gb.Vector(backend, gb.INT32, 5)
+        with pytest.raises(IndexOutOfBounds):
+            v.set_element(5, 1)
+        with pytest.raises(IndexOutOfBounds):
+            v.extract_element(-1)
+
+    def test_build_and_pairs(self, backend):
+        v = gb.Vector(backend, gb.FP64, 6)
+        v.build([4, 1], [9.0, 3.0])
+        idx, vals = v.to_pairs()
+        assert np.array_equal(idx, [1, 4])
+        assert np.array_equal(vals, [3.0, 9.0])
+
+    def test_build_scalar_expansion(self, backend):
+        v = gb.Vector(backend, gb.INT64, 4)
+        v.build([0, 2], 5)
+        assert v.extract_element(2) == 5
+
+    def test_build_bad_index(self, backend):
+        v = gb.Vector(backend, gb.INT32, 4)
+        with pytest.raises(IndexOutOfBounds):
+            v.build([4], [1])
+
+    def test_build_length_mismatch(self, backend):
+        v = gb.Vector(backend, gb.INT32, 4)
+        with pytest.raises(DimensionMismatch):
+            v.build([0, 1], [1.0])
+
+    def test_dup_independent(self, backend):
+        v = gb.Vector(backend, gb.INT32, 4)
+        v.set_element(0, 1)
+        w = v.dup()
+        w.set_element(0, 2)
+        assert v.extract_element(0) == 1
+
+    def test_clear(self, backend):
+        v = gb.Vector(backend, gb.INT32, 4)
+        v.set_element(1, 5)
+        v.clear()
+        assert v.nvals == 0
+
+    def test_dense_values_fill(self, backend):
+        v = gb.Vector(backend, gb.INT32, 3)
+        v.set_element(1, 7)
+        assert np.array_equal(v.dense_values(fill=-1), [-1, 7, -1])
+
+    def test_rep_footprints_differ(self, ss_backend, gb_backend):
+        # SuiteSparse stores sparse pairs; GaloisBLAS's dense array costs
+        # size x itemsize regardless of fill (§III-B).
+        vs = gb.Vector(ss_backend, gb.INT64, 1000)
+        vg = gb.Vector(gb_backend, gb.INT64, 1000)
+        vs.set_element(0, 1)
+        vg.set_element(0, 1)
+        assert vs.nbytes_modeled() < vg.nbytes_modeled()
+
+
+class TestMatrix:
+    def test_from_coo(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 3, 3, [0, 1], [1, 2],
+                               [1.5, 2.5])
+        assert A.nvals == 2
+        assert A.extract_element(0, 1) == 1.5
+
+    def test_extract_absent(self, backend):
+        A = gb.Matrix(backend, gb.BOOL, 3, 3)
+        with pytest.raises(NoValue):
+            A.extract_element(0, 0)
+
+    def test_transposed_cached_once(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 3, 3, [0], [2], [1.0])
+        t1 = A.transposed_csr()
+        t2 = A.transposed_csr()
+        assert t1 is t2
+        assert t1.get(2, 0) == 1.0
+
+    def test_replace_csr_shape_checked(self, backend):
+        from repro.sparse.csr import CSRMatrix
+
+        A = gb.Matrix(backend, gb.BOOL, 3, 3)
+        bad = CSRMatrix(2, 2, np.zeros(3, dtype=np.int64),
+                        np.empty(0, dtype=np.int32))
+        with pytest.raises(DimensionMismatch):
+            A.replace_csr(bad)
+
+    def test_replace_invalidates_transpose(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 3, 3, [0], [2], [1.0])
+        A.transposed_csr()
+        A.replace_csr(gb.Matrix.from_coo(backend, gb.FP64, 3, 3, [1], [0],
+                                         [5.0]).csr)
+        assert A.transposed_csr().get(0, 1) == 5.0
+
+    def test_dup(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.BOOL, 2, 2, [0], [1],
+                               [True])
+        B = A.dup()
+        assert B.nvals == A.nvals and B.csr is not A.csr
+
+    def test_allocation_tracked(self, backend):
+        before = backend.machine.allocator.live_bytes
+        A = gb.Matrix.from_coo(backend, gb.FP64, 100, 100,
+                               np.arange(100), np.arange(100),
+                               np.ones(100))
+        assert backend.machine.allocator.live_bytes > before
+        A.free()
+        assert backend.machine.allocator.live_bytes <= before + 64

@@ -1,0 +1,294 @@
+"""GraphBLAS operation semantics: masks, accumulators, descriptors."""
+
+import numpy as np
+import pytest
+
+import repro.graphblas as gb
+from repro.errors import DimensionMismatch, InvalidValue
+from repro.graphblas.descriptor import (
+    Descriptor,
+    GrB_ALL,
+    REPLACE_COMP,
+    REPLACE_STRUCT,
+)
+from repro.graphblas.ops import LOR_LAND, MIN_PLUS, PLUS_PAIR, PLUS_TIMES, binary, monoid
+
+
+def vec(backend, gtype, size, pairs=()):
+    v = gb.Vector(backend, gtype, size)
+    for i, x in pairs:
+        v.set_element(i, x)
+    return v
+
+
+def chain_matrix(backend):
+    # 0 -> 1 -> 2 -> 3 with weights 1, 2, 3.
+    return gb.Matrix.from_coo(backend, gb.FP64, 4, 4, [0, 1, 2], [1, 2, 3],
+                              [1.0, 2.0, 3.0])
+
+
+class TestMxvVxm:
+    def test_mxv_dense_pull(self, backend):
+        A = chain_matrix(backend)
+        u = vec(backend, gb.FP64, 4, [(i, float(i + 1)) for i in range(4)])
+        w = gb.Vector(backend, gb.FP64, 4)
+        gb.mxv(w, A, u, PLUS_TIMES)
+        # w[0] = A[0,1]*u[1] = 2; w[1] = 2*3 = 6; w[2] = 3*4 = 12.
+        assert w.extract_element(0) == 2.0
+        assert w.extract_element(2) == 12.0
+        assert w.nvals == 3  # row 3 empty -> no entry
+
+    def test_mxv_sparse_push(self, backend):
+        A = chain_matrix(backend)
+        u = vec(backend, gb.FP64, 4, [(1, 5.0)])
+        w = gb.Vector(backend, gb.FP64, 4)
+        gb.mxv(w, A, u, PLUS_TIMES)
+        assert w.nvals == 1
+        assert w.extract_element(0) == 1.0 * 5.0
+
+    def test_vxm_pushes_forward(self, backend):
+        A = chain_matrix(backend)
+        u = vec(backend, gb.FP64, 4, [(1, 5.0)])
+        w = gb.Vector(backend, gb.FP64, 4)
+        gb.vxm(w, u, A, PLUS_TIMES)
+        assert w.nvals == 1
+        assert w.extract_element(2) == 10.0
+
+    def test_min_plus_relaxation(self, backend):
+        A = chain_matrix(backend)
+        u = vec(backend, gb.FP64, 4, [(0, 0.0), (1, 100.0)])
+        w = gb.Vector(backend, gb.FP64, 4)
+        gb.vxm(w, u, A, MIN_PLUS)
+        assert w.extract_element(1) == 1.0  # 0 + w(0,1)
+        assert w.extract_element(2) == 102.0
+
+    def test_transpose_descriptor(self, backend):
+        A = chain_matrix(backend)
+        u = vec(backend, gb.FP64, 4, [(1, 1.0)])
+        w = gb.Vector(backend, gb.FP64, 4)
+        gb.mxv(w, A, u, PLUS_TIMES, desc=Descriptor(transpose_a=True))
+        # A' x u: w[2] = A[1,2] = 2.
+        assert w.extract_element(2) == 2.0
+
+    def test_dimension_checks(self, backend):
+        A = chain_matrix(backend)
+        with pytest.raises(DimensionMismatch):
+            gb.mxv(gb.Vector(backend, gb.FP64, 4), A,
+                   gb.Vector(backend, gb.FP64, 3), PLUS_TIMES)
+        with pytest.raises(DimensionMismatch):
+            gb.vxm(gb.Vector(backend, gb.FP64, 3),
+                   gb.Vector(backend, gb.FP64, 4), A, PLUS_TIMES)
+
+    def test_accumulator_merges(self, backend):
+        A = chain_matrix(backend)
+        u = vec(backend, gb.FP64, 4, [(0, 1.0)])
+        w = vec(backend, gb.FP64, 4, [(1, 10.0), (3, 7.0)])
+        gb.vxm(w, u, A, PLUS_TIMES, accum=binary("plus"))
+        assert w.extract_element(1) == 11.0  # accum(10, 1*1)
+        assert w.extract_element(3) == 7.0   # untouched entry kept
+
+
+class TestMasks:
+    def test_value_mask(self, backend):
+        u = vec(backend, gb.INT32, 4, [(i, i) for i in range(4)])
+        mask = vec(backend, gb.INT32, 4, [(1, 1), (2, 0), (3, 5)])
+        w = gb.Vector(backend, gb.INT32, 4)
+        gb.assign(w, 9, mask=mask)
+        # mask true where present AND nonzero: 1 and 3.
+        assert w.nvals == 2
+        assert w.extract_element(1) == 9 and w.extract_element(3) == 9
+
+    def test_structural_mask_ignores_values(self, backend):
+        mask = vec(backend, gb.INT32, 4, [(1, 0)])
+        w = gb.Vector(backend, gb.INT32, 4)
+        gb.assign(w, 9, mask=mask, desc=Descriptor(mask_structure=True))
+        assert w.extract_element(1) == 9
+
+    def test_complement_mask(self, backend):
+        mask = vec(backend, gb.BOOL, 3, [(0, True)])
+        w = gb.Vector(backend, gb.INT32, 3)
+        gb.assign(w, 5, mask=mask, desc=Descriptor(mask_comp=True))
+        assert w.nvals == 2
+        assert sorted(w.indices().tolist()) == [1, 2]
+
+    def test_replace_clears_outside_mask(self, backend):
+        w = vec(backend, gb.INT32, 4, [(0, 1), (1, 1), (2, 1)])
+        mask = vec(backend, gb.BOOL, 4, [(1, True)])
+        gb.assign(w, 9, mask=mask, desc=Descriptor(replace=True))
+        assert w.nvals == 1
+        assert w.extract_element(1) == 9
+
+    def test_no_replace_keeps_outside_mask(self, backend):
+        w = vec(backend, gb.INT32, 4, [(0, 1)])
+        mask = vec(backend, gb.BOOL, 4, [(1, True)])
+        gb.assign(w, 9, mask=mask)
+        assert w.extract_element(0) == 1
+
+    def test_algorithm2_frontier_update(self, backend):
+        # The bfs idiom: f<!dist,replace> = f vxm A.
+        A = gb.Matrix.from_coo(backend, gb.BOOL, 3, 3, [0, 1], [1, 2],
+                               [True, True])
+        dist = vec(backend, gb.INT32, 3, [(i, 0) for i in range(3)])
+        dist.set_element(0, 1)
+        f = vec(backend, gb.BOOL, 3, [(0, True)])
+        gb.vxm(f, f, A, LOR_LAND, mask=dist, desc=REPLACE_COMP)
+        assert f.indices().tolist() == [1]
+
+
+class TestElementWise:
+    def test_ewise_add_union(self, backend):
+        u = vec(backend, gb.FP64, 4, [(0, 1.0), (1, 2.0)])
+        v = vec(backend, gb.FP64, 4, [(1, 10.0), (2, 20.0)])
+        w = gb.Vector(backend, gb.FP64, 4)
+        gb.eWiseAdd(w, u, v, monoid("plus"))
+        assert w.nvals == 3
+        assert w.extract_element(0) == 1.0
+        assert w.extract_element(1) == 12.0
+        assert w.extract_element(2) == 20.0
+
+    def test_ewise_mult_intersection(self, backend):
+        u = vec(backend, gb.FP64, 4, [(0, 2.0), (1, 3.0)])
+        v = vec(backend, gb.FP64, 4, [(1, 10.0), (2, 20.0)])
+        w = gb.Vector(backend, gb.FP64, 4)
+        gb.eWiseMult(w, u, v, binary("times"))
+        assert w.nvals == 1
+        assert w.extract_element(1) == 30.0
+
+    def test_ewise_min_alias_safe(self, backend):
+        w = vec(backend, gb.INT64, 3, [(0, 5), (1, 9)])
+        v = vec(backend, gb.INT64, 3, [(0, 7), (1, 2)])
+        gb.eWiseAdd(w, w, v, monoid("min"))
+        assert w.extract_element(0) == 5 and w.extract_element(1) == 2
+
+    def test_apply_with_bound_op(self, backend):
+        u = vec(backend, gb.FP64, 3, [(0, 2.0), (2, 4.0)])
+        w = gb.Vector(backend, gb.FP64, 3)
+        gb.apply(w, binary("times").bind_first(10), u)
+        assert w.extract_element(2) == 40.0
+        assert w.nvals == 2
+
+
+class TestAssignExtract:
+    def test_assign_scalar_all(self, backend):
+        w = gb.Vector(backend, gb.INT32, 5)
+        gb.assign(w, 3)
+        assert w.nvals == 5
+
+    def test_assign_scalar_indices(self, backend):
+        w = gb.Vector(backend, gb.INT32, 5)
+        gb.assign(w, 3, indices=[0, 4])
+        assert sorted(w.indices().tolist()) == [0, 4]
+
+    def test_assign_vector_with_min_accum_duplicates(self, backend):
+        # FastSV's hooking: duplicates combine with min.
+        w = vec(backend, gb.INT64, 4, [(i, 10) for i in range(4)])
+        src = vec(backend, gb.INT64, 3, [(0, 5), (1, 2), (2, 9)])
+        gb.assign(w, src, indices=[1, 1, 3], accum=binary("min"))
+        assert w.extract_element(1) == 2
+        assert w.extract_element(3) == 9
+        assert w.extract_element(0) == 10
+
+    def test_extract_gather_with_duplicates(self, backend):
+        u = vec(backend, gb.INT64, 4, [(i, i * 10) for i in range(4)])
+        w = gb.Vector(backend, gb.INT64, 3)
+        gb.extract(w, u, [2, 2, 0])
+        assert [w.extract_element(i) for i in range(3)] == [20, 20, 0]
+
+    def test_extract_skips_implicit(self, backend):
+        u = vec(backend, gb.INT64, 4, [(1, 5)])
+        w = gb.Vector(backend, gb.INT64, 2)
+        gb.extract(w, u, [0, 1])
+        assert w.nvals == 1
+
+    def test_extract_all(self, backend):
+        u = vec(backend, gb.INT64, 3, [(0, 1), (2, 3)])
+        w = gb.Vector(backend, gb.INT64, 3)
+        gb.extract(w, u, GrB_ALL)
+        assert w.nvals == 2
+
+
+class TestSelectReduce:
+    def test_select_vector_value(self, backend):
+        u = vec(backend, gb.INT64, 5, [(i, i) for i in range(5)])
+        w = gb.Vector(backend, gb.INT64, 5)
+        gb.select(w, "ge", u, 3)
+        assert sorted(w.indices().tolist()) == [3, 4]
+
+    def test_select_matrix_tril(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.INT64, 3, 3,
+                               [0, 1, 2, 2], [1, 0, 2, 0], [1, 2, 3, 4])
+        L = gb.Matrix(backend, gb.INT64, 3, 3)
+        gb.select(L, "tril", A, -1)
+        assert L.nvals == 2  # (1,0) and (2,0)
+
+    def test_select_matrix_value(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.INT64, 3, 3,
+                               [0, 1], [1, 2], [1, 5])
+        C = gb.Matrix(backend, gb.INT64, 3, 3)
+        gb.select(C, "ge", A, 5)
+        assert C.nvals == 1
+
+    def test_select_unknown_op(self, backend):
+        u = vec(backend, gb.INT64, 3)
+        with pytest.raises(InvalidValue):
+            gb.select(gb.Vector(backend, gb.INT64, 3), "weird", u, 0)
+
+    def test_reduce_vector(self, backend):
+        u = vec(backend, gb.INT64, 5, [(0, 3), (4, 9)])
+        assert gb.reduce_to_scalar(u, monoid("plus")) == 12
+        assert gb.reduce_to_scalar(u, monoid("min")) == 3
+
+    def test_reduce_matrix_to_vector_rows_and_cols(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 3, 3,
+                               [0, 0, 2], [1, 2, 0], [1.0, 2.0, 5.0])
+        w = gb.Vector(backend, gb.FP64, 3)
+        gb.reduce_to_vector(w, A, monoid("plus"))
+        assert w.extract_element(0) == 3.0
+        assert w.nvals == 2
+        gb.reduce_to_vector(w, A, monoid("plus"),
+                            desc=Descriptor(transpose_a=True))
+        assert w.extract_element(0) == 5.0  # column 0 sum
+
+
+class TestMxm:
+    def test_plus_times(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 2, 2, [0, 1], [1, 0],
+                               [2.0, 3.0])
+        C = gb.Matrix(backend, gb.FP64, 2, 2)
+        gb.mxm(C, A, A, PLUS_TIMES)
+        assert C.extract_element(0, 0) == 6.0
+        assert C.extract_element(1, 1) == 6.0
+
+    def test_masked_dot_sandia_form(self, backend):
+        # Triangle 0-1-2 as lower/upper triangular product.
+        sym = gb.Matrix.from_coo(backend, gb.BOOL, 3, 3,
+                                 [0, 1, 0, 2, 1, 2], [1, 0, 2, 0, 2, 1],
+                                 np.ones(6, bool))
+        L = gb.Matrix(backend, gb.BOOL, 3, 3)
+        gb.select(L, "tril", sym, -1)
+        U = gb.Matrix(backend, gb.BOOL, 3, 3)
+        gb.select(U, "triu", sym, 1)
+        C = gb.Matrix(backend, gb.INT64, 3, 3)
+        gb.mxm(C, L, U, PLUS_PAIR, mask=L,
+               desc=Descriptor(mask_structure=True, replace=True,
+                               transpose_b=True), method="dot")
+        from repro.graphblas.ops import monoid as mon
+        total = gb.reduce_to_scalar(C, mon("plus"))
+        assert total == 1
+
+    def test_value_matrix_mask_rejected(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 2, 2, [0], [1], [1.0])
+        with pytest.raises(InvalidValue):
+            gb.mxm(gb.Matrix(backend, gb.FP64, 2, 2), A, A, PLUS_TIMES,
+                   mask=A)
+
+    def test_diag_fast_path_only_galoisblas(self, ss_backend, gb_backend):
+        for bk in (ss_backend, gb_backend):
+            D = gb.Matrix.from_coo(bk, gb.FP64, 3, 3, [0, 1, 2], [0, 1, 2],
+                                   [2.0, 3.0, 4.0])
+            B = gb.Matrix.from_coo(bk, gb.FP64, 3, 3, [0, 1], [1, 2],
+                                   [1.0, 1.0])
+            C = gb.Matrix(bk, gb.FP64, 3, 3)
+            gb.mxm(C, D, B, PLUS_TIMES)
+            assert C.extract_element(0, 1) == 2.0
+            assert C.extract_element(1, 2) == 3.0

@@ -1,0 +1,206 @@
+"""Generators, datasets and graph properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValue
+from repro.graphs import generators as gen
+from repro.graphs.datasets import DATASETS, get_dataset
+from repro.graphs.properties import bfs_levels, compute_properties, pseudo_diameter
+from repro.graphs.transform import (
+    heavy_tailed_weights,
+    random_weights,
+    symmetrize,
+)
+from repro.sparse.csr import build_csr
+
+
+class TestRmat:
+    def test_size_and_range(self):
+        n, src, dst = gen.rmat(scale=8, edge_factor=8, seed=1)
+        assert n == 256
+        assert src.max() < n and dst.max() < n
+        assert np.all(src != dst)
+
+    def test_deterministic(self):
+        a = gen.rmat(scale=7, seed=5)
+        b = gen.rmat(scale=7, seed=5)
+        assert np.array_equal(a[1], b[1]) and np.array_equal(a[2], b[2])
+
+    def test_power_law_skew(self):
+        n, src, dst = gen.rmat(scale=10, edge_factor=16, seed=2)
+        deg = np.bincount(src, minlength=n)
+        assert deg.max() > 10 * deg.mean()
+
+    def test_bad_probabilities(self):
+        with pytest.raises(InvalidValue):
+            gen.rmat(scale=5, a=0.5, b=0.3, c=0.3)
+
+
+class TestRoadLattice:
+    def test_high_diameter(self):
+        n, src, dst = gen.road_lattice(length=200, width=2, seed=1)
+        csr = build_csr(n, n, src, dst, None)
+        assert pseudo_diameter(csr) > 150
+
+    def test_bounded_degree(self):
+        n, src, dst = gen.road_lattice(length=100, width=4, seed=2)
+        deg = np.bincount(src, minlength=n)
+        assert deg.max() <= 8
+
+    def test_spine_connected(self):
+        # The spine guarantee: vertex 0 reaches the far end.
+        n, src, dst = gen.road_lattice(length=150, width=3, seed=3,
+                                       drop_prob=0.3)
+        csr = build_csr(n, n, src, dst, None)
+        levels = bfs_levels(csr, 0)
+        far_end = (150 - 1) * 3  # ids[-1, 0]
+        assert levels[far_end] >= 0
+
+
+class TestWebCrawl:
+    def test_triangle_rich(self):
+        n, src, dst = gen.web_crawl(n=400, out_degree=12, seed=4)
+        csr = build_csr(n, n, src, dst, None)
+        sym, _ = symmetrize(csr)
+        from repro.sparse.tricount import count_triangles_lower
+
+        ntri, _, _ = count_triangles_lower(sym.extract_tril(strict=True))
+        assert ntri > sym.nvals / 2  # clustering well above random
+
+    def test_ids_shuffled(self):
+        # Degree must not correlate with vertex id after relabeling.
+        n, src, dst = gen.web_crawl(n=500, out_degree=10, seed=5)
+        deg = np.bincount(np.concatenate([src, dst]), minlength=n)
+        top = np.argsort(deg)[-10:]
+        assert top.max() > n // 4  # hubs are not all packed at low ids
+
+
+class TestChungLu:
+    def test_in_degree_skew(self):
+        n, src, dst = gen.chung_lu(n=2000, avg_degree=20, in_skew=1.4,
+                                   seed=6)
+        din = np.bincount(dst, minlength=n)
+        dout = np.bincount(src, minlength=n)
+        assert din.max() > dout.max()
+
+    def test_no_self_loops(self):
+        _, src, dst = gen.chung_lu(n=300, avg_degree=10, seed=7)
+        assert np.all(src != dst)
+
+
+class TestProtein:
+    def test_multiple_components(self):
+        n, src, dst = gen.protein_similarity(n=800, avg_degree=40,
+                                             n_components=6, seed=8)
+        csr = build_csr(n, n, src, dst, None)
+        sym, _ = symmetrize(csr)
+        levels = bfs_levels(sym, 0)
+        assert (levels < 0).any()  # some vertices unreachable
+
+    def test_symmetric_arcs(self):
+        n, src, dst = gen.protein_similarity(n=400, avg_degree=30, seed=9)
+        csr = build_csr(n, n, src, dst, None)
+        t = csr.transpose()
+        assert (csr.to_scipy() != t.to_scipy()).nnz == 0
+
+
+class TestWeights:
+    def test_random_weight_range(self):
+        w = random_weights(1000, seed=1)
+        assert w.min() >= 1 and w.max() <= 255
+
+    def test_heavy_weights_overflow_32bit(self):
+        # A two-hop path already exceeds int32: eukarya's 64-bit switch.
+        w = heavy_tailed_weights(1000, seed=2)
+        assert int(w.max()) + int(w.max()) > np.iinfo(np.int32).max
+
+    def test_heavy_weights_exceed_delta(self):
+        w = heavy_tailed_weights(100, seed=3)
+        assert w.min() >= 1 << 20
+
+
+class TestDatasets:
+    def test_registry_has_nine(self):
+        assert len(DATASETS) == 9
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidValue):
+            get_dataset("orkut")
+
+    def test_build_cached(self):
+        ds = get_dataset("road-USA-W")
+        a, _ = ds.build()
+        b, _ = ds.build()
+        assert a is b
+
+    def test_scale_positive(self):
+        ds = get_dataset("road-USA-W")
+        assert ds.scale > 100
+
+    def test_source_policy(self):
+        assert get_dataset("road-USA").source_vertex() == 0
+        ds = get_dataset("rmat22")
+        csr, _ = ds.build()
+        src = ds.source_vertex()
+        assert np.diff(csr.indptr)[src] == np.diff(csr.indptr).max()
+
+    def test_eukarya_defaults(self):
+        ds = get_dataset("eukarya")
+        assert ds.sssp_delta == 1 << 20
+        assert ds.dist_64bit
+
+    def test_road_ktruss_k(self):
+        assert get_dataset("road-USA").ktruss_k == 4
+        assert get_dataset("twitter40").ktruss_k == 7
+
+    def test_symmetric_view_is_symmetric(self):
+        sym, _ = get_dataset("rmat22").build_symmetric()
+        t = sym.transpose()
+        assert np.array_equal(t.indptr, sym.indptr)
+        assert np.array_equal(t.indices, sym.indices)
+
+    def test_friendster_already_undirected(self):
+        csr, _ = get_dataset("friendster").build()
+        t = csr.transpose()
+        assert np.array_equal(t.indices, csr.indices)
+
+
+class TestProperties:
+    def test_bfs_levels_chain(self):
+        csr = build_csr(4, 4, [0, 1, 2], [1, 2, 3], None)
+        levels = bfs_levels(csr, 0)
+        assert np.array_equal(levels, [0, 1, 2, 3])
+
+    def test_bfs_unreachable(self):
+        csr = build_csr(3, 3, [0], [1], None)
+        assert bfs_levels(csr, 0)[2] == -1
+
+    def test_pseudo_diameter_path(self):
+        n = 50
+        fw = np.arange(n - 1)
+        csr = build_csr(n, n, np.concatenate([fw, fw + 1]),
+                        np.concatenate([fw + 1, fw]), None)
+        assert pseudo_diameter(csr) == n - 1
+
+    def test_compute_properties_fields(self):
+        ds = get_dataset("road-USA-W")
+        csr, w = ds.build()
+        p = compute_properties("road-USA-W", csr, w, ds.scale)
+        assert p.nnodes == csr.nrows
+        assert p.nedges == csr.nvals
+        assert p.csr_bytes > csr.nbytes  # includes the weights
+        assert p.paper_scale_csr_gb > 0
+
+
+class TestSymmetrize:
+    def test_pattern_union(self):
+        csr = build_csr(3, 3, [0, 1], [1, 2], None)
+        sym, w = symmetrize(csr)
+        assert sym.nvals == 4 and w is None
+
+    def test_weights_min_combined(self):
+        csr = build_csr(2, 2, [0, 1], [1, 0],
+                        np.array([5, 3], dtype=np.int64))
+        sym, w = symmetrize(csr, csr.values)
+        assert sym.get(0, 1) == 3 and sym.get(1, 0) == 3

@@ -1,0 +1,47 @@
+"""Wider cross-system integration: more datasets, all applications.
+
+The core suite covers road-USA-W and rmat22; these runs extend the
+cross-stack answer check to a web crawl and the protein graph — the two
+structurally hardest twins (clustering and weight pathology).
+"""
+
+import pytest
+
+from repro.core.experiments import OK, run_cell
+from repro.core.systems import SYSTEMS
+
+
+@pytest.mark.parametrize("app", ["bfs", "cc", "pr", "sssp", "tc"])
+def test_indochina_answers_agree(app):
+    results = [run_cell(s, app, "indochina04") for s in SYSTEMS]
+    assert all(r.status == OK for r in results)
+    assert len({r.answer for r in results}) == 1
+
+
+@pytest.mark.parametrize("app", ["bfs", "cc", "sssp", "tc", "ktruss"])
+def test_eukarya_answers_agree(app):
+    results = [run_cell(s, app, "eukarya") for s in SYSTEMS]
+    assert all(r.status == OK for r in results)
+    assert len({r.answer for r in results}) == 1
+
+
+def test_eukarya_sssp_asynchrony_gap():
+    """The wide-range-weights pathology: bulk-sync pays per bucket."""
+    gb_cell = run_cell("GB", "sssp", "eukarya")
+    ls_cell = run_cell("LS", "sssp", "eukarya")
+    assert gb_cell.seconds / ls_cell.seconds > 5
+
+
+def test_indochina_tc_materialization_gap():
+    """Web-crawl clustering: tc's intermediate matrices cost the matrix
+    API a multiple of the fused scalar count."""
+    gb_cell = run_cell("GB", "tc", "indochina04")
+    ls_cell = run_cell("LS", "tc", "indochina04")
+    assert gb_cell.seconds / ls_cell.seconds > 2
+
+
+def test_paper_row_order_preserved_bfs():
+    """LS's bfs win must hold on every dataset class, as in Table II."""
+    for graph in ("indochina04", "eukarya"):
+        cells = {s: run_cell(s, "bfs", graph) for s in SYSTEMS}
+        assert cells["LS"].seconds == min(c.seconds for c in cells.values())

@@ -1,0 +1,111 @@
+"""Matrix element-wise operations (GrB_eWiseAdd/Mult/apply on matrices)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro.graphblas as gb
+from repro.errors import DimensionMismatch
+from repro.graphblas.ops import binary, monoid, unary
+
+
+def rand_matrix(backend, n, density, seed, label="M"):
+    mat = sp.random(n, n, density=density, random_state=seed).tocsr()
+    mat.data = np.round(mat.data * 9) + 1
+    coo = mat.tocoo()
+    return gb.Matrix.from_coo(backend, gb.FP64, n, n, coo.row, coo.col,
+                              coo.data, label=label), mat
+
+
+class TestEWiseAddMatrix:
+    def test_matches_scipy_sum(self, backend):
+        A, SA = rand_matrix(backend, 30, 0.15, 1)
+        B, SB = rand_matrix(backend, 30, 0.15, 2)
+        C = gb.Matrix(backend, gb.FP64, 30, 30)
+        gb.eWiseAddMatrix(C, A, B, monoid("plus"))
+        assert np.allclose(C.csr.to_scipy().toarray(),
+                           (SA + SB).toarray())
+
+    def test_union_pattern(self, backend):
+        A, SA = rand_matrix(backend, 20, 0.1, 3)
+        B, SB = rand_matrix(backend, 20, 0.1, 4)
+        C = gb.Matrix(backend, gb.FP64, 20, 20)
+        gb.eWiseAddMatrix(C, A, B, monoid("plus"))
+        assert C.nvals == ((SA != 0) + (SB != 0)).nnz
+
+    def test_min_combine(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 2, 2, [0], [1], [5.0])
+        B = gb.Matrix.from_coo(backend, gb.FP64, 2, 2, [0, 1], [1, 0],
+                               [3.0, 9.0])
+        C = gb.Matrix(backend, gb.FP64, 2, 2)
+        gb.eWiseAddMatrix(C, A, B, monoid("min"))
+        assert C.extract_element(0, 1) == 3.0
+        assert C.extract_element(1, 0) == 9.0
+
+    def test_shape_mismatch(self, backend):
+        A = gb.Matrix(backend, gb.FP64, 2, 2)
+        B = gb.Matrix(backend, gb.FP64, 3, 3)
+        with pytest.raises(DimensionMismatch):
+            gb.eWiseAddMatrix(gb.Matrix(backend, gb.FP64, 2, 2), A, B,
+                              monoid("plus"))
+
+    def test_empty_operand(self, backend):
+        A, SA = rand_matrix(backend, 10, 0.2, 5)
+        E = gb.Matrix(backend, gb.FP64, 10, 10)
+        C = gb.Matrix(backend, gb.FP64, 10, 10)
+        gb.eWiseAddMatrix(C, A, E, monoid("plus"))
+        assert C.nvals == A.nvals
+
+
+class TestEWiseMultMatrix:
+    def test_matches_scipy_hadamard(self, backend):
+        A, SA = rand_matrix(backend, 30, 0.2, 6)
+        B, SB = rand_matrix(backend, 30, 0.2, 7)
+        C = gb.Matrix(backend, gb.FP64, 30, 30)
+        gb.eWiseMultMatrix(C, A, B, binary("times"))
+        assert np.allclose(C.csr.to_scipy().toarray(),
+                           SA.multiply(SB).toarray())
+
+    def test_intersection_pattern(self, backend):
+        A, SA = rand_matrix(backend, 25, 0.2, 8)
+        B, SB = rand_matrix(backend, 25, 0.2, 9)
+        C = gb.Matrix(backend, gb.FP64, 25, 25)
+        gb.eWiseMultMatrix(C, A, B, binary("times"))
+        assert C.nvals == (SA != 0).multiply(SB != 0).nnz
+
+    def test_noncommutative_order(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 2, 2, [0], [0], [10.0])
+        B = gb.Matrix.from_coo(backend, gb.FP64, 2, 2, [0], [0], [4.0])
+        C = gb.Matrix(backend, gb.FP64, 2, 2)
+        gb.eWiseMultMatrix(C, A, B, binary("minus"))
+        assert C.extract_element(0, 0) == 6.0
+
+    def test_disjoint_patterns_empty(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 3, 3, [0], [1], [1.0])
+        B = gb.Matrix.from_coo(backend, gb.FP64, 3, 3, [1], [2], [1.0])
+        C = gb.Matrix(backend, gb.FP64, 3, 3)
+        gb.eWiseMultMatrix(C, A, B, binary("times"))
+        assert C.nvals == 0
+
+
+class TestApplyMatrix:
+    def test_unary_over_pattern(self, backend):
+        A, SA = rand_matrix(backend, 15, 0.2, 10)
+        C = gb.Matrix(backend, gb.FP64, 15, 15)
+        gb.applyMatrix(C, unary("ainv"), A)
+        assert np.allclose(C.csr.to_scipy().toarray(), -SA.toarray())
+        assert C.nvals == A.nvals
+
+    def test_bound_binop(self, backend):
+        A = gb.Matrix.from_coo(backend, gb.FP64, 2, 2, [0, 1], [1, 0],
+                               [2.0, 3.0])
+        C = gb.Matrix(backend, gb.FP64, 2, 2)
+        gb.applyMatrix(C, binary("times").bind_first(10), A)
+        assert C.extract_element(0, 1) == 20.0
+
+    def test_charges_machine(self, backend):
+        A, _ = rand_matrix(backend, 15, 0.2, 11)
+        C = gb.Matrix(backend, gb.FP64, 15, 15)
+        before = backend.machine.counters.instructions
+        gb.applyMatrix(C, unary("one"), A)
+        assert backend.machine.counters.instructions > before

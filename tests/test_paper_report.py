@@ -1,0 +1,70 @@
+"""Published-numbers data (core.paper) and the EXPERIMENTS generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import paper, report
+from repro.core.systems import SYSTEMS
+
+
+class TestPaperData:
+    def test_full_grid_transcribed(self):
+        # 6 apps x 3 systems rows, 9 graph columns each.
+        assert len(paper.PAPER_TABLE2) == 18
+        for row in paper.PAPER_TABLE2.values():
+            assert len(row) == 9
+
+    def test_every_cell_numeric_or_annotation(self):
+        for row in paper.PAPER_TABLE2.values():
+            for cell in row:
+                assert isinstance(cell, (int, float)) or cell in (
+                    "TO", "OOM", "C")
+
+    def test_paper_cell_lookup(self):
+        assert paper.paper_cell("bfs", "LS", "road-USA") == 1.20
+        assert paper.paper_cell("tc", "SS", "uk07") == "OOM"
+        assert paper.paper_cell("cc", "SS", "eukarya") == "C"
+        assert paper.paper_cell("bfs", "LS", "orkut") is None
+
+    def test_paper_ratio(self):
+        r = paper.paper_ratio("sssp", "road-USA", "GB", "LS")
+        assert r == pytest.approx(40.54 / 0.34)
+        assert paper.paper_ratio("tc", "uk07", "SS", "LS") is None  # OOM
+
+    def test_headline_sssp_claim_consistent_with_table(self):
+        # The ">100x" claim is Table II's road-USA GB/LS ratio.
+        assert paper.paper_ratio("sssp", "road-USA", "GB", "LS") > 100
+
+    def test_failures_count(self):
+        failures = sum(1 for row in paper.PAPER_TABLE2.values()
+                       for cell in row if isinstance(cell, str))
+        assert failures == 13  # 11 TO/OOM + 2 C
+
+    def test_table1_has_nine_graphs(self):
+        assert set(paper.PAPER_TABLE1) == set(paper.GRAPHS)
+
+
+class TestReportGeneration:
+    GRAPHS = ("road-USA-W",)
+    APPS = ("bfs", "cc")
+
+    def test_table2_comparison_renders(self):
+        md = report.table2_comparison_md(self.APPS, self.GRAPHS)
+        assert md.count("|") > 10
+        assert "road-USA-W" in md
+        assert "/" in md  # measured / published pairs
+
+    def test_collect_ratios_positive(self):
+        ratios = report.collect_ratios(self.APPS, self.GRAPHS)
+        assert all(r > 0 for r in ratios["SS/LS"])
+        assert all(r > 0 for r in ratios["GB/LS"])
+
+    def test_headline_md_structure(self):
+        md = report.headline_md(self.APPS, self.GRAPHS)
+        assert "| claim | paper | measured | holds |" in md
+        assert "Lonestar" in md
+
+    def test_failure_annotation_md(self):
+        # On this subset no cells fail in the paper -> header only.
+        md = report.failure_annotation_md(self.APPS, self.GRAPHS)
+        assert md.startswith("| app | graph | system |")

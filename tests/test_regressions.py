@@ -1,0 +1,121 @@
+"""Regression tests for specific bugs found during development."""
+
+import numpy as np
+import pytest
+
+import repro.graphblas as gb
+from repro.graphblas.ops import PLUS_PAIR, PLUS_TIMES, monoid
+from repro.perf.machine import Machine
+from repro.suitesparse import SuiteSparseBackend
+
+from tests.conftest import pattern_matrix, random_digraph
+
+
+class TestTransposeAllocationLeak:
+    """replace_csr used to leak the cached transpose's allocation: every
+    pr/ktruss round re-derived and re-charged a CSC view, driving big-graph
+    runs to spurious OOMs."""
+
+    def test_replace_releases_transpose(self, gb_backend):
+        csr = random_digraph(n=80, m=400)[0]
+        A = pattern_matrix(gb_backend, csr)
+        live0 = gb_backend.machine.allocator.live_bytes
+        for _ in range(10):
+            A.transposed_csr()
+            A.replace_csr(A.csr.copy())
+        live1 = gb_backend.machine.allocator.live_bytes
+        assert live1 - live0 < 2 * csr.nbytes
+
+    def test_free_releases_transpose(self, gb_backend):
+        csr = random_digraph(n=80, m=400)[0]
+        A = pattern_matrix(gb_backend, csr)
+        A.transposed_csr()
+        A.free()
+        assert gb_backend.machine.allocator.live_bytes < csr.nbytes
+
+    def test_repeated_mxm_bounded_memory(self, gb_backend):
+        """A ktruss-like loop must not grow the modeled RSS round by round."""
+        csr = random_digraph(n=60, m=500)[1]
+        S = pattern_matrix(gb_backend, csr, "S")
+        C = gb.Matrix(gb_backend, gb.INT64, csr.nrows, csr.ncols, label="C")
+        from repro.graphblas.descriptor import REPLACE_STRUCT
+
+        peaks = []
+        for _ in range(5):
+            gb.mxm(C, S, S, PLUS_PAIR, mask=S, desc=REPLACE_STRUCT)
+            peaks.append(gb_backend.machine.allocator.live_bytes)
+        assert peaks[-1] <= peaks[0] + csr.nbytes
+
+
+class TestDecrementalKtrussSharedTriangles:
+    """Pre-killing a whole removal wave dropped decrements for triangles
+    shared by two doomed edges; removals must be sequentialized."""
+
+    def test_two_doomed_edges_one_triangle(self):
+        from repro.galois.graph import Graph
+        from repro.lonestar import ktruss
+        from repro.runtime.galois_rt import GaloisRuntime
+        from repro.sparse.csr import build_csr
+
+        # Triangle 0-1-2 with pendant edges at 0 and 1: at k=4 every edge
+        # dies, and edges (0,2) and (1,2) share the only triangle.
+        rows = [0, 1, 0, 2, 1, 2, 0, 3, 1, 4]
+        cols = [1, 0, 2, 0, 2, 1, 3, 0, 4, 1]
+        sym = build_csr(5, 5, rows, cols, None)
+        graph = Graph(GaloisRuntime(Machine()), sym)
+        alive, _ = ktruss(graph, k=4)
+        assert alive.sum() == 0
+
+
+class TestSparseVxmEmptyFrontierRows:
+    """Push kernels must survive frontiers whose rows are all empty."""
+
+    def test_vxm_from_sink_vertices(self, backend):
+        from repro.sparse.csr import build_csr
+
+        csr = build_csr(4, 4, [0], [1], None)
+        A = gb.Matrix.from_csr(backend, gb.BOOL, csr)
+        f = gb.Vector(backend, gb.BOOL, 4)
+        f.set_element(3, True)  # vertex with no out-edges
+        from repro.graphblas.ops import LOR_LAND
+
+        out = gb.Vector(backend, gb.BOOL, 4)
+        gb.vxm(out, f, A, LOR_LAND)
+        assert out.nvals == 0
+
+
+class TestEukaryaSsspConfiguration:
+    """The eukarya weight pathology: 32-bit distances overflow, so the
+    harness must run it with 64-bit (the paper's special case, §IV)."""
+
+    def test_weights_overflow_int32_on_two_hops(self):
+        from repro.graphs.datasets import get_dataset
+
+        _, w = get_dataset("eukarya").build()
+        assert int(w.max()) * 2 > np.iinfo(np.int32).max
+
+    def test_dataset_flags(self):
+        from repro.graphs.datasets import get_dataset
+
+        ds = get_dataset("eukarya")
+        assert ds.dist_64bit and ds.sssp_delta == 1 << 20
+
+
+class TestEmptyTwinPositions:
+    def test_empty_matrix(self):
+        from repro.sparse.csr import build_csr
+        from repro.sparse.tricount import twin_positions
+
+        empty = build_csr(3, 3, [], [], None)
+        assert len(twin_positions(empty)) == 0
+
+
+class TestJsonSerialization:
+    def test_numpy_counters_serialize(self, tmp_path):
+        from repro.core import experiments
+
+        experiments.clear_cache()
+        experiments.run_cell("LS", "bfs", "road-USA-W")
+        path = str(tmp_path / "cells.json")
+        experiments.save_results(path)  # must not raise on numpy scalars
+        assert experiments.load_results(path) == 1

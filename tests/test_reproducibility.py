@@ -1,0 +1,57 @@
+"""Determinism guarantees: same seeds, same graphs, same simulated times."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import run_cell
+from repro.graphs import datasets
+from repro.graphs.datasets import get_dataset
+
+
+class TestDatasetDeterminism:
+    def test_rebuild_is_identical(self):
+        ds = get_dataset("rmat22")
+        csr1, w1 = ds.build()
+        fingerprint1 = (csr1.nvals, int(csr1.indices.sum()),
+                        int(w1.sum()))
+        datasets.clear_cache()
+        csr2, w2 = ds.build()
+        assert fingerprint1 == (csr2.nvals, int(csr2.indices.sum()),
+                                int(w2.sum()))
+
+    def test_symmetric_rebuild_identical(self):
+        ds = get_dataset("road-USA-W")
+        sym1, _ = ds.build_symmetric()
+        datasets.clear_cache()
+        sym2, _ = ds.build_symmetric()
+        assert np.array_equal(sym1.indices, sym2.indices)
+
+
+class TestCellDeterminism:
+    def test_same_cell_same_time(self):
+        a = run_cell("LS", "bfs", "road-USA-W", use_cache=False)
+        b = run_cell("LS", "bfs", "road-USA-W", use_cache=False)
+        assert a.seconds == b.seconds
+        assert a.counters == b.counters
+        assert a.answer == b.answer
+
+    def test_graphblas_cell_deterministic(self):
+        a = run_cell("GB", "cc", "road-USA-W", use_cache=False)
+        b = run_cell("GB", "cc", "road-USA-W", use_cache=False)
+        assert a.seconds == b.seconds
+        assert a.mrss_gb == b.mrss_gb
+
+
+class TestDescriptorConstants:
+    def test_replace_comp_matches_algorithm2(self):
+        from repro.graphblas.descriptor import REPLACE_COMP
+
+        assert REPLACE_COMP.replace and REPLACE_COMP.mask_comp
+        assert not REPLACE_COMP.mask_structure
+
+    def test_descriptors_hashable_and_frozen(self):
+        from repro.graphblas.descriptor import DEFAULT_DESC, Descriptor
+
+        assert hash(DEFAULT_DESC) == hash(Descriptor())
+        with pytest.raises(Exception):
+            DEFAULT_DESC.replace = True

@@ -1,0 +1,181 @@
+"""GraphBLAS semantics vs a brute-force dict-based reference model.
+
+The reference implements the GraphBLAS execution semantics (compute T,
+apply accumulator, write through the mask with optional REPLACE) in the
+most literal way possible over {index: value} dicts; hypothesis drives
+random operations, masks, descriptors and accumulators against it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.graphblas as gb
+from repro.graphblas.descriptor import Descriptor
+from repro.graphblas.ops import binary, monoid, semiring
+from repro.perf.machine import Machine
+from repro.suitesparse import SuiteSparseBackend
+
+N = 8
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+sparse_vec = st.dictionaries(st.integers(0, N - 1),
+                             st.integers(-4, 4), max_size=N)
+matrix_entries = st.dictionaries(
+    st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+    st.integers(1, 5), max_size=20)
+desc_flags = st.tuples(st.booleans(), st.booleans(), st.booleans())
+
+
+def make_vector(backend, entries, gtype=gb.INT64):
+    v = gb.Vector(backend, gtype, N)
+    for i, val in entries.items():
+        v.set_element(i, val)
+    return v
+
+
+def make_matrix(backend, entries):
+    rows = [r for r, _ in entries]
+    cols = [c for _, c in entries]
+    vals = [entries[k] for k in entries]
+    return gb.Matrix.from_coo(backend, gb.INT64, N, N, rows, cols, vals,
+                              label="A")
+
+
+# ----------------------------------------------------------------------
+# Reference model
+# ----------------------------------------------------------------------
+
+def ref_mask_allowed(mask, comp, structural):
+    allowed = set()
+    for i in range(N):
+        present = i in mask
+        truthy = present and (structural or mask[i] != 0)
+        if truthy != comp:
+            allowed.add(i)
+    return allowed
+
+
+def ref_write_back(c, t, mask, accum, comp, structural, replace):
+    allowed = (set(range(N)) if mask is None and not comp
+               else ref_mask_allowed(mask or {}, comp, structural))
+    z = dict(c)
+    for i, tv in t.items():
+        z[i] = accum(c[i], tv) if (accum and i in c) else tv
+    out = {}
+    for i in range(N):
+        if i in allowed:
+            if i in z:
+                out[i] = z[i]
+        elif not replace and i in c:
+            out[i] = c[i]
+    return out
+
+
+def ref_vxm(x, entries, add, mult):
+    out = {}
+    for (r, c), a in entries.items():
+        if r in x:
+            term = mult(x[r], a)
+            out[c] = add(out[c], term) if c in out else term
+    return out
+
+
+def as_dict(v):
+    idx, vals = v.to_pairs()
+    return {int(i): int(val) for i, val in zip(idx, vals)}
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+class TestVxmAgainstModel:
+    @SETTINGS
+    @given(sparse_vec, matrix_entries,
+           st.sampled_from(["plus_times", "min_plus", "plus_first"]))
+    def test_unmasked(self, x, entries, ring_name):
+        backend = SuiteSparseBackend(Machine())
+        ring = semiring(ring_name)
+        u = make_vector(backend, x)
+        A = make_matrix(backend, entries)
+        w = gb.Vector(backend, gb.INT64, N)
+        gb.vxm(w, u, A, ring)
+
+        py_add = {"plus": lambda a, b: a + b, "min": min}[ring.add.name]
+        py_mult = {"times": lambda a, b: a * b,
+                   "plus": lambda a, b: a + b,
+                   "first": lambda a, b: a}[ring.mult.name]
+        expect = ref_vxm(x, entries, py_add, py_mult)
+        assert as_dict(w) == expect
+
+
+class TestAssignAgainstModel:
+    @SETTINGS
+    @given(sparse_vec, sparse_vec, desc_flags, st.booleans(),
+           st.integers(-3, 3))
+    def test_masked_scalar_assign(self, c0, mask, flags, use_accum, value):
+        comp, structural, replace = flags
+        backend = SuiteSparseBackend(Machine())
+        w = make_vector(backend, c0)
+        m = make_vector(backend, mask)
+        accum_op = binary("plus") if use_accum else None
+        gb.assign(w, value, mask=m,
+                  accum=accum_op,
+                  desc=Descriptor(mask_comp=comp, mask_structure=structural,
+                                  replace=replace))
+        t = {i: value for i in range(N)}
+        expect = ref_write_back(
+            c0, t, mask, (lambda a, b: a + b) if use_accum else None,
+            comp, structural, replace)
+        assert as_dict(w) == expect
+
+
+class TestEWiseAgainstModel:
+    @SETTINGS
+    @given(sparse_vec, sparse_vec,
+           st.sampled_from(["plus", "min", "max"]))
+    def test_add_union(self, a, b, kind):
+        backend = SuiteSparseBackend(Machine())
+        u = make_vector(backend, a)
+        v = make_vector(backend, b)
+        w = gb.Vector(backend, gb.INT64, N)
+        gb.eWiseAdd(w, u, v, monoid(kind))
+        combine = {"plus": lambda x, y: x + y, "min": min,
+                   "max": max}[kind]
+        expect = {}
+        for i in set(a) | set(b):
+            if i in a and i in b:
+                expect[i] = combine(a[i], b[i])
+            else:
+                expect[i] = a.get(i, b.get(i))
+        assert as_dict(w) == expect
+
+    @SETTINGS
+    @given(sparse_vec, sparse_vec)
+    def test_mult_intersection(self, a, b):
+        backend = SuiteSparseBackend(Machine())
+        u = make_vector(backend, a)
+        v = make_vector(backend, b)
+        w = gb.Vector(backend, gb.INT64, N)
+        gb.eWiseMult(w, u, v, binary("times"))
+        expect = {i: a[i] * b[i] for i in set(a) & set(b)}
+        assert as_dict(w) == expect
+
+
+class TestExtractAgainstModel:
+    @SETTINGS
+    @given(sparse_vec, st.lists(st.integers(0, N - 1), min_size=1,
+                                max_size=N))
+    def test_gather(self, src, indices):
+        backend = SuiteSparseBackend(Machine())
+        u = make_vector(backend, src)
+        w = gb.Vector(backend, gb.INT64, len(indices))
+        gb.extract(w, u, indices)
+        idx, vals = w.to_pairs()
+        got = {int(i): int(v) for i, v in zip(idx, vals)}
+        expect = {k: src[j] for k, j in enumerate(indices) if j in src}
+        assert got == expect

@@ -1,0 +1,124 @@
+"""Unit tests for the numpy operator layer under the semirings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValue
+from repro.sparse.semiring_ops import (
+    BINARY_FNS,
+    MONOID_FNS,
+    MonoidFn,
+    SegmentReducer,
+    identity_for,
+)
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("kind,dtype,expected", [
+        ("plus", np.int64, 0),
+        ("times", np.float64, 1.0),
+        ("min", np.float64, np.inf),
+        ("min", np.int32, np.iinfo(np.int32).max),
+        ("max", np.int64, np.iinfo(np.int64).min),
+        ("max", np.float32, -np.inf),
+        ("lor", np.bool_, False),
+        ("land", np.bool_, True),
+    ])
+    def test_identities(self, kind, dtype, expected):
+        assert identity_for(kind, dtype) == expected
+
+    def test_min_identity_is_dtype_aware(self):
+        # This distinction is what makes eukarya's 32-bit distances
+        # overflow-prone while 64-bit works (paper §IV).
+        assert identity_for("min", np.int32) < identity_for("min", np.int64)
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidValue):
+            identity_for("xor", np.int64)
+
+
+class TestBinaryFns:
+    def test_first_second_pair(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([10.0, 20.0])
+        assert np.array_equal(BINARY_FNS["first"].apply(a, b), a)
+        assert np.array_equal(BINARY_FNS["second"].apply(a, b), b)
+        assert np.array_equal(BINARY_FNS["pair"].apply(a, b), [1.0, 1.0])
+
+    def test_pair_with_scalar_broadcast(self):
+        out = BINARY_FNS["pair"].apply(np.arange(3), 7)
+        assert np.array_equal(out, [1, 1, 1])
+
+    @pytest.mark.parametrize("name,a,b,expected", [
+        ("plus", 2, 3, 5), ("minus", 2, 3, -1), ("times", 2, 3, 6),
+        ("min", 2, 3, 2), ("max", 2, 3, 3), ("div", 6, 3, 2),
+        ("lor", True, False, True), ("land", True, False, False),
+        ("eq", 2, 2, True), ("ne", 2, 2, False), ("lt", 2, 3, True),
+        ("gt", 2, 3, False), ("le", 3, 3, True), ("ge", 2, 3, False),
+    ])
+    def test_arith_and_compare(self, name, a, b, expected):
+        assert BINARY_FNS[name].apply(a, b) == expected
+
+    def test_no_function_raises(self):
+        from repro.sparse.semiring_ops import BinaryFn
+
+        with pytest.raises(InvalidValue):
+            BinaryFn("mystery").apply(1, 2)
+
+
+class TestMonoidReduceAll:
+    def test_empty_gives_identity(self):
+        assert MONOID_FNS["min"].reduce_all(np.array([]), np.int64) == \
+            np.iinfo(np.int64).max
+
+    def test_plus_int_no_overflow_dtype(self):
+        vals = np.array([2**30, 2**30, 2**30], dtype=np.int32)
+        assert MONOID_FNS["plus"].reduce_all(vals) == 3 * 2**30
+
+    @pytest.mark.parametrize("kind,vals,expected", [
+        ("plus", [1, 2, 3], 6), ("times", [2, 3, 4], 24),
+        ("min", [5, 2, 9], 2), ("max", [5, 2, 9], 9),
+        ("lor", [0, 0, 1], True), ("land", [1, 1, 0], False),
+    ])
+    def test_reductions(self, kind, vals, expected):
+        assert MONOID_FNS[kind].reduce_all(np.array(vals)) == expected
+
+    def test_bad_kind(self):
+        with pytest.raises(InvalidValue):
+            MonoidFn("nand")
+
+
+class TestSegmentReducer:
+    def test_plus_unsorted_segments(self):
+        r = SegmentReducer(MONOID_FNS["plus"])
+        out = r.reduce(np.array([1.0, 2.0, 3.0, 4.0]),
+                       np.array([2, 0, 2, 1]), 3)
+        assert np.array_equal(out, [2.0, 4.0, 4.0])
+
+    def test_min_with_identity_fill(self):
+        r = SegmentReducer(MONOID_FNS["min"])
+        out = r.reduce(np.array([5, 3], dtype=np.int64),
+                       np.array([1, 1]), 3, dtype=np.int64)
+        assert out[0] == np.iinfo(np.int64).max
+        assert out[1] == 3
+
+    def test_max(self):
+        r = SegmentReducer(MONOID_FNS["max"])
+        out = r.reduce(np.array([5.0, 7.0, 1.0]), np.array([0, 0, 1]), 2)
+        assert np.array_equal(out, [7.0, 1.0])
+
+    def test_lor_counts_truthiness(self):
+        r = SegmentReducer(MONOID_FNS["lor"])
+        out = r.reduce(np.array([0, 1, 0]), np.array([0, 1, 2]), 3,
+                       dtype=np.bool_)
+        assert np.array_equal(out, [False, True, False])
+
+    def test_empty_input(self):
+        r = SegmentReducer(MONOID_FNS["plus"])
+        out = r.reduce(np.array([]), np.array([], dtype=np.int64), 2)
+        assert np.array_equal(out, [0.0, 0.0])
+
+    def test_touched(self):
+        r = SegmentReducer(MONOID_FNS["plus"])
+        touched = r.touched(np.array([0, 2, 2]), 4)
+        assert np.array_equal(touched, [True, False, True, False])

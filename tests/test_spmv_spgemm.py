@@ -1,0 +1,229 @@
+"""Sparse kernels checked against scipy on random matrices."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import DimensionMismatch
+from repro.sparse.csr import build_csr
+from repro.sparse.semiring_ops import BINARY_FNS, MONOID_FNS
+from repro.sparse.spgemm import (
+    spgemm_diag_left,
+    spgemm_flop_count,
+    spgemm_masked_dot,
+    spgemm_masked_saxpy,
+    spgemm_saxpy,
+)
+from repro.sparse.spmv import mxv_push_transposed, spmv_pull, vxm_push
+
+
+def random_csr(n, m, density, seed, ints=False):
+    mat = sp.random(n, m, density=density, random_state=seed).tocsr()
+    if ints:
+        mat.data = np.round(mat.data * 9) + 1
+    coo = mat.tocoo()
+    return build_csr(n, m, coo.row, coo.col, coo.data), mat
+
+
+class TestSpmvPull:
+    def test_plus_times(self):
+        A, S = random_csr(40, 40, 0.1, 1)
+        x = np.random.default_rng(2).random(40)
+        y, touched, flops = spmv_pull(A, x, MONOID_FNS["plus"],
+                                      BINARY_FNS["times"])
+        assert np.allclose(y, S @ x)
+        assert flops == A.nvals
+
+    def test_touched_marks_nonempty_rows(self):
+        A, _ = random_csr(40, 40, 0.05, 3)
+        x = np.ones(40)
+        _, touched, _ = spmv_pull(A, x, MONOID_FNS["plus"],
+                                  BINARY_FNS["times"])
+        assert np.array_equal(touched, np.diff(A.indptr) > 0)
+
+    def test_min_plus(self):
+        A, S = random_csr(30, 30, 0.15, 4, ints=True)
+        x = np.arange(30, dtype=np.float64)
+        y, touched, _ = spmv_pull(A, x, MONOID_FNS["min"],
+                                  BINARY_FNS["plus"])
+        dense = S.toarray()
+        for i in range(30):
+            cols = np.nonzero(dense[i])[0]
+            if len(cols):
+                assert y[i] == min(dense[i, c] + x[c] for c in cols)
+
+
+class TestPushKernels:
+    def test_vxm_push_matches_dense(self):
+        A, S = random_csr(35, 35, 0.12, 5)
+        x_idx = np.array([1, 7, 20])
+        x_val = np.array([2.0, 0.5, 3.0])
+        y_idx, y_val, flops = vxm_push(A, x_idx, x_val, MONOID_FNS["plus"],
+                                       BINARY_FNS["times"])
+        xd = np.zeros(35)
+        xd[x_idx] = x_val
+        ref = xd @ S.toarray()
+        got = np.zeros(35)
+        got[y_idx] = y_val
+        assert np.allclose(got, ref)
+
+    def test_vxm_push_empty_input(self):
+        A, _ = random_csr(10, 10, 0.2, 6)
+        y_idx, y_val, flops = vxm_push(A, np.array([], dtype=np.int64),
+                                       np.array([]), MONOID_FNS["plus"],
+                                       BINARY_FNS["times"])
+        assert len(y_idx) == 0 and flops == 0
+
+    def test_mxv_push_transposed(self):
+        A, S = random_csr(25, 25, 0.15, 7)
+        At = A.transpose()
+        x_idx = np.array([0, 5])
+        x_val = np.array([1.0, 4.0])
+        y_idx, y_val, _ = mxv_push_transposed(At, x_idx, x_val,
+                                              MONOID_FNS["plus"],
+                                              BINARY_FNS["times"])
+        xd = np.zeros(25)
+        xd[x_idx] = x_val
+        ref = S.toarray() @ xd
+        got = np.zeros(25)
+        got[y_idx] = y_val
+        assert np.allclose(got, ref)
+
+    def test_noncommutative_mult_order(self):
+        # second(x, A) in vxm must pick the matrix value.
+        A, S = random_csr(20, 20, 0.2, 8, ints=True)
+        x_idx = np.array([3])
+        x_val = np.array([100.0])
+        y_idx, y_val, _ = vxm_push(A, x_idx, x_val, MONOID_FNS["min"],
+                                   BINARY_FNS["second"])
+        cols, vals = A.row(3)
+        assert np.array_equal(np.sort(y_idx), np.sort(cols.astype(np.int64)))
+        for j, v in zip(y_idx, y_val):
+            assert v == A.get(3, int(j))
+
+
+class TestSpgemm:
+    def test_saxpy_matches_scipy(self):
+        A, SA = random_csr(30, 40, 0.1, 9)
+        B, SB = random_csr(40, 25, 0.1, 10)
+        C, flops = spgemm_saxpy(A, B, MONOID_FNS["plus"],
+                                BINARY_FNS["times"])
+        assert np.allclose(C.to_scipy().toarray(), (SA @ SB).toarray())
+        assert flops == spgemm_flop_count(A, B)
+
+    def test_saxpy_small_batches_same_result(self):
+        A, SA = random_csr(30, 30, 0.15, 11)
+        C1, _ = spgemm_saxpy(A, A, MONOID_FNS["plus"], BINARY_FNS["times"])
+        C2, _ = spgemm_saxpy(A, A, MONOID_FNS["plus"], BINARY_FNS["times"],
+                             batch_flops=7)
+        assert (C1.to_scipy() != C2.to_scipy()).nnz == 0
+
+    def test_saxpy_dimension_mismatch(self):
+        A, _ = random_csr(5, 6, 0.3, 12)
+        B, _ = random_csr(5, 6, 0.3, 13)
+        with pytest.raises(DimensionMismatch):
+            spgemm_saxpy(A, B, MONOID_FNS["plus"], BINARY_FNS["times"])
+
+    def test_masked_dot_triangle_counting_form(self):
+        # C<L> = L @ L' with plus_pair: common-neighbor counts.
+        L = sp.tril(sp.random(35, 35, density=0.25, random_state=14),
+                    k=-1).tocsr()
+        L.data[:] = 1
+        coo = L.tocoo()
+        Lc = build_csr(35, 35, coo.row, coo.col, coo.data)
+        C, work = spgemm_masked_dot(Lc, Lc, Lc, MONOID_FNS["plus"],
+                                    BINARY_FNS["pair"])
+        ref = (L @ L.T).toarray() * L.toarray()
+        assert np.allclose(C.to_scipy().toarray(), ref)
+
+    def test_masked_saxpy_equals_masked_dot(self):
+        A, _ = random_csr(25, 25, 0.2, 15, ints=True)
+        M, _ = random_csr(25, 25, 0.3, 16)
+        At = A.transpose()
+        C1, _ = spgemm_masked_dot(A, At, M, MONOID_FNS["plus"],
+                                  BINARY_FNS["times"])
+        # dot computes A @ (At)' == A @ A.
+        C2, _ = spgemm_masked_saxpy(A, A, M, MONOID_FNS["plus"],
+                                    BINARY_FNS["times"])
+        assert np.allclose(C1.to_scipy().toarray(), C2.to_scipy().toarray())
+
+    def test_masked_dot_drops_empty_dots(self):
+        # Mask positions with no contributing pair must stay implicit.
+        A = build_csr(3, 3, [0], [1], np.array([1.0]))
+        mask = build_csr(3, 3, [0, 2], [0, 2], None)
+        C, _ = spgemm_masked_dot(A, A.transpose(), mask, MONOID_FNS["plus"],
+                                 BINARY_FNS["times"])
+        # row 0 of A dotted with col 0 (= row 0 of At has entry at... ) is
+        # A[0,:] . A[0,:]' = 1 at mask (0,0); (2,2) has no pairs.
+        assert C.get(2, 2) is None
+
+    def test_diag_left(self):
+        B, SB = random_csr(20, 20, 0.2, 17)
+        diag = np.arange(1, 21, dtype=np.float64)
+        C, flops = spgemm_diag_left(diag, B, BINARY_FNS["times"])
+        ref = sp.diags(diag) @ SB
+        assert np.allclose(C.to_scipy().toarray(), ref.toarray())
+        assert flops == B.nvals
+
+    def test_diag_left_wrong_length(self):
+        B, _ = random_csr(10, 10, 0.2, 18)
+        with pytest.raises(DimensionMismatch):
+            spgemm_diag_left(np.ones(5), B, BINARY_FNS["times"])
+
+
+class TestTricount:
+    def test_count_triangles_matches_trace(self):
+        from repro.sparse.tricount import count_triangles_lower
+
+        A, SA = random_csr(40, 40, 0.2, 19)
+        sym = ((SA + SA.T) > 0).astype(np.float64)
+        sym.setdiag(0)
+        sym.eliminate_zeros()
+        coo = sym.tocoo()
+        symc = build_csr(40, 40, coo.row, coo.col, None)
+        L = symc.extract_tril(strict=True)
+        ntri, work, row_work = count_triangles_lower(L)
+        ref = int(round((sym @ sym @ sym).diagonal().sum() / 6))
+        assert ntri == ref
+        assert row_work.sum() == work
+
+    def test_twin_positions(self):
+        from repro.sparse.tricount import twin_positions
+
+        A, SA = random_csr(30, 30, 0.2, 20)
+        sym = ((SA + SA.T) > 0).astype(np.float64)
+        sym.setdiag(0)
+        sym.eliminate_zeros()
+        coo = sym.tocoo()
+        symc = build_csr(30, 30, coo.row, coo.col, None)
+        twin = twin_positions(symc)
+        rows = np.repeat(np.arange(30), np.diff(symc.indptr))
+        assert np.array_equal(rows[twin], symc.indices)
+        assert np.array_equal(symc.indices[twin], rows)
+        assert np.array_equal(twin[twin], np.arange(symc.nvals))
+
+    def test_twin_positions_asymmetric_raises(self):
+        A = build_csr(3, 3, [0], [1], None)
+        from repro.sparse.tricount import twin_positions
+
+        with pytest.raises(ValueError):
+            twin_positions(A)
+
+    def test_edge_supports_respects_alive(self):
+        # Triangle 0-1-2 plus pendant edge 2-3.
+        rows = [0, 1, 0, 2, 1, 2, 2, 3]
+        cols = [1, 0, 2, 0, 2, 1, 3, 2]
+        symc = build_csr(4, 4, rows, cols, None)
+        from repro.sparse.tricount import edge_supports
+
+        alive = np.ones(symc.nvals, dtype=bool)
+        sup, work, _ = edge_supports(symc, alive)
+        assert sup[symc.indptr[3]] == 0  # pendant edge has no support
+        # Kill edge (0,1): the other triangle edges lose their support.
+        pos01 = symc.indptr[0] + np.searchsorted(symc.row(0)[0], 1)
+        alive[pos01] = False
+        pos10 = symc.indptr[1] + np.searchsorted(symc.row(1)[0], 0)
+        alive[pos10] = False
+        sup2, _, _ = edge_supports(symc, alive)
+        pos02 = symc.indptr[0] + np.searchsorted(symc.row(0)[0], 2)
+        assert sup2[pos02] == 0

@@ -1,0 +1,70 @@
+"""Time-breakdown analysis (repro.perf.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.core.systems import SystemInstance
+from repro.graphs.datasets import get_dataset
+from repro.perf.machine import Machine
+from repro.perf.costmodel import Schedule
+from repro.perf.memmodel import AccessStream, AccessPattern
+from repro.perf.trace import explain
+
+
+class TestExplain:
+    def test_components_sum_to_total(self):
+        m = Machine(time_scale=10.0)
+        for _ in range(4):
+            m.charge_loop(Schedule.STEAL, instructions=100000,
+                          streams=[AccessStream(200 * 2**20, 5000,
+                                                AccessPattern.RANDOM)],
+                          n_items=1000, fixed_ns=5000.0)
+        b = explain(m)
+        parts = (b.compute_seconds + sum(b.memory_seconds.values())
+                 + b.imbalance_seconds + b.fixed_seconds)
+        assert parts == pytest.approx(b.total_seconds, rel=1e-6)
+        assert b.total_seconds == pytest.approx(m.simulated_seconds(),
+                                                rel=1e-6)
+
+    def test_loop_counts(self):
+        m = Machine()
+        m.charge_loop(Schedule.STEAL, instructions=10)
+        m.charge_loop(Schedule.SERIAL, instructions=10, barrier=False)
+        b = explain(m)
+        assert b.n_loops == 1 and b.n_serial_segments == 1
+
+    def test_imbalance_captured(self):
+        m = Machine()
+        w = np.ones(100)
+        w[0] = 10000.0
+        m.charge_loop(Schedule.STEAL, instructions=10**6, weights=w,
+                      n_items=100)
+        b = explain(m)
+        assert b.imbalance_seconds > 0
+
+    def test_render_contains_bars(self):
+        m = Machine()
+        m.charge_loop(Schedule.STEAL, instructions=10**6)
+        text = explain(m).render()
+        assert "compute" in text and "fixed" in text and "%" in text
+
+    def test_road_bfs_is_fixed_cost_dominated(self):
+        """The diagnosis behind the road-network calibration: GB bfs time
+        is dominated by per-call fixed costs, not work (§V-B bfs)."""
+        inst = SystemInstance("GB", get_dataset("road-USA-W"))
+        inst.run("bfs")
+        b = explain(inst.machine)
+        assert b.fixed_seconds > 0.5 * b.total_seconds
+
+    def test_tc_is_memory_dominated(self):
+        inst = SystemInstance("LS", get_dataset("rmat22"))
+        inst.run("tc")
+        b = explain(inst.machine)
+        mem = sum(b.memory_seconds.values())
+        assert mem > b.fixed_seconds
+        assert mem > b.compute_seconds
+
+    def test_thread_argument(self):
+        m = Machine()
+        m.charge_loop(Schedule.STEAL, instructions=10**6)
+        assert explain(m, 1).total_seconds > explain(m, 56).total_seconds

@@ -1,0 +1,41 @@
+"""Cross-system validation module and its CLI target."""
+
+import pytest
+
+from repro.core.runner import main as runner_main
+from repro.core.validate import ValidationRow, render, validate_graph
+
+
+class TestValidateGraph:
+    def test_all_agree_on_small_graph(self):
+        rows = validate_graph("road-USA-W", apps=("bfs", "cc"))
+        assert len(rows) == 2
+        assert all(r.agreed for r in rows)
+        assert all(r.completed == 3 for r in rows)
+
+    def test_render_reports_agreement(self):
+        rows = validate_graph("road-USA-W", apps=("bfs",))
+        text = render(rows)
+        assert "AGREE" in text
+        assert "all applications agree" in text
+
+    def test_mismatch_detected(self):
+        row = ValidationRow(app="bfs", graph="x",
+                            answers={"SS": 1, "GB": 2, "LS": 1},
+                            statuses={"SS": "ok", "GB": "ok", "LS": "ok"})
+        assert not row.agreed
+        text = render([row])
+        assert "MISMATCH" in text
+
+    def test_failed_systems_excluded_from_agreement(self):
+        row = ValidationRow(app="tc", graph="x",
+                            answers={"SS": None, "GB": 5, "LS": 5},
+                            statuses={"SS": "OOM", "GB": "ok", "LS": "ok"})
+        assert row.agreed
+        assert row.completed == 2
+
+    def test_cli_target(self, capsys):
+        assert runner_main(["validate", "--graphs", "road-USA-W",
+                            "--apps", "bfs"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-system validation" in out
