@@ -36,6 +36,9 @@ class Graph:
         self.weights = weights
         self._csc: Optional[CSRMatrix] = None
         self._csc_weights: Optional[np.ndarray] = None
+        # Structural-metadata memo (numpy-level only; the machine model's
+        # accounting is untouched — kernels still declare the same streams).
+        self._in_deg: Optional[np.ndarray] = None
         self.node_data: Dict[str, TrackedArray] = {}
         nbytes = csr.nbytes + (weights.nbytes if weights is not None else 0)
         self._allocation = runtime.charge_alloc(nbytes, f"Graph:{name}")
@@ -52,12 +55,16 @@ class Graph:
         return self.csr.nvals
 
     def out_degrees(self) -> np.ndarray:
-        """Out-degree per vertex."""
+        """Out-degree per vertex (cached by the CSR; do not mutate)."""
         return self.csr.row_degrees()
 
     def in_degrees(self) -> np.ndarray:
-        """In-degree per vertex."""
-        return np.bincount(self.csr.indices, minlength=self.nnodes)
+        """In-degree per vertex (cached; do not mutate)."""
+        if self._in_deg is None:
+            self._in_deg = np.bincount(self.csr.indices,
+                                       minlength=self.nnodes)
+            self._in_deg.setflags(write=False)
+        return self._in_deg
 
     def out_neighbors(self, node: int) -> np.ndarray:
         """Destination ids of ``node``'s out-edges."""

@@ -33,6 +33,7 @@ from repro.graphblas.vector import Vector
 from repro.sparse import spgemm as _spgemm
 from repro.sparse import spmv as _spmv
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.segreduce import scatter_reduce
 from repro.sparse.semiring_ops import BinaryFn
 
 
@@ -108,8 +109,7 @@ def _is_full_diagonal(csr: CSRMatrix) -> bool:
     """True when the matrix has exactly one entry per row, on the diagonal."""
     if csr.nrows != csr.ncols or csr.nvals != csr.nrows:
         return False
-    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64), np.diff(csr.indptr))
-    return bool(np.array_equal(csr.indices, rows))
+    return bool(np.array_equal(csr.indices, csr.row_ids()))
 
 
 def _swapped(mult: BinaryOp) -> BinaryOp:
@@ -432,7 +432,7 @@ def select(
         return out
 
     csr: CSRMatrix = source.csr
-    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64), np.diff(csr.indptr))
+    rows = csr.row_ids()
     if op_name == "tril":
         keep = csr.indices <= rows + thunk
     elif op_name == "triu":
@@ -496,8 +496,7 @@ def assign(
                     fill = (np.iinfo(w.type.dtype).min
                             if w.type.dtype.kind in "iu" else -np.inf)
                 combine = np.full(w.size, fill, dtype=w.type.dtype)
-                ufunc = np.minimum if accum.name == "min" else np.maximum
-                ufunc.at(combine, targets, vals)
+                scatter_reduce(combine, targets, vals, accum.name)
                 touched = np.zeros(w.size, dtype=bool)
                 touched[targets] = True
                 t_vals[touched] = combine[touched]
@@ -592,11 +591,12 @@ def reduce_to_vector(
         raise DimensionMismatch("w length must match the reduced dimension")
     from repro.sparse.semiring_ops import SegmentReducer
 
-    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64), np.diff(csr.indptr))
+    rows = csr.row_ids()
     reducer = SegmentReducer(mon.fn)
+    # Row expansions are sorted by construction: presorted reduceat path.
     t_vals = reducer.reduce(csr.value_array(w.type.dtype), rows, csr.nrows,
-                            dtype=w.type.dtype)
-    t_present = np.diff(csr.indptr) > 0
+                            dtype=w.type.dtype, row_splits=csr.indptr)
+    t_present = csr.row_degrees() > 0
     allowed = _mask_allowed(mask, w.size, desc)
     _write_back(w, t_vals, t_present, allowed, accum, desc.replace)
     w.backend.charge_op("reduce_matrix_to_vector", out=w, mat=A,
@@ -669,10 +669,8 @@ def _combine_matrices(a: CSRMatrix, b: CSRMatrix, binop: BinaryOp,
     """Key-aligned union/intersection combine of two CSR matrices."""
     from repro.sparse.csr import build_csr
 
-    a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64),
-                       np.diff(a.indptr))
-    b_rows = np.repeat(np.arange(b.nrows, dtype=np.int64),
-                       np.diff(b.indptr))
+    a_rows = a.row_ids()
+    b_rows = b.row_ids()
     a_keys = a_rows * a.ncols + a.indices
     b_keys = b_rows * b.ncols + b.indices
     a_vals = a.value_array(dtype)

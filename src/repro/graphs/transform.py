@@ -15,7 +15,7 @@ def symmetrize(csr: CSRMatrix, weights: Optional[np.ndarray] = None):
     This is the preprocessing cc/tc/ktruss apply to directed inputs (weakly
     connected components and undirected triangle problems, §IV).
     """
-    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64), np.diff(csr.indptr))
+    rows = csr.row_ids()
     cols = csr.indices.astype(np.int64)
     all_rows = np.concatenate([rows, cols])
     all_cols = np.concatenate([cols, rows])

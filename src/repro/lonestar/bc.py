@@ -16,6 +16,7 @@ import numpy as np
 from repro.galois.graph import Graph
 from repro.galois.loops import LoopCharge, do_all, edge_scan_stream
 from repro.galois.worklist import SparseWorklist
+from repro.sparse.segreduce import scatter_reduce
 
 
 def betweenness_centrality(graph: Graph,
@@ -53,7 +54,8 @@ def _accumulate_source(graph: Graph, s: int, bc: np.ndarray,
             dsts64 = dsts.astype(np.int64)
             level[dsts64[level[dsts64] == -1]] = depth
             on_level = level[dsts64] == depth
-            np.add.at(sigma, dsts64[on_level], sigma[current][seg[on_level]])
+            scatter_reduce(sigma, dsts64[on_level],
+                           sigma[current][seg[on_level]], "plus")
             fresh = np.unique(dsts64[on_level])
         else:
             fresh = np.empty(0, dtype=np.int64)
@@ -82,7 +84,7 @@ def _accumulate_source(graph: Graph, s: int, bc: np.ndarray,
             contrib = np.zeros(len(verts), dtype=np.float64)
             if succ.any():
                 terms = (1.0 + delta[dsts64[succ]]) / sigma[dsts64[succ]]
-                np.add.at(contrib, seg[succ], terms)
+                scatter_reduce(contrib, seg[succ], terms, "plus")
             delta[verts] += sigma[verts] * contrib
         do_all(rt, LoopCharge(
             n_items=len(verts),

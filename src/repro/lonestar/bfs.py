@@ -15,6 +15,7 @@ import numpy as np
 from repro.galois.graph import Graph
 from repro.galois.loops import LoopCharge, do_all, edge_scan_stream
 from repro.galois.worklist import SparseWorklist
+from repro.sparse.segreduce import scatter_reduce
 
 #: Lonestar's BFS::DIST_INFINITY.
 DIST_INFINITY = np.iinfo(np.uint32).max
@@ -155,7 +156,7 @@ def bfs_parent(graph: Graph, source: int) -> np.ndarray:
             cand_src = current[seg[unvisited]]
             # Smallest-predecessor tie-break via a min-scatter.
             stage = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-            np.minimum.at(stage, cand_dst, cand_src)
+            scatter_reduce(stage, cand_dst, cand_src, "min")
             fresh = np.unique(cand_dst)
             parent[fresh] = stage[fresh]
         else:

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.galois.graph import Graph
 from repro.galois.loops import LoopCharge, do_all, for_each_charge
+from repro.sparse.segreduce import scatter_reduce
 
 #: Vertices sampled to identify the giant intermediate component.
 SAMPLE_SIZE = 1024
@@ -135,15 +136,15 @@ def shiloach_vishkin(graph: Graph) -> np.ndarray:
     n = graph.nnodes
     parent = graph.add_node_data("cc_parent_sv", np.int64, fill=0)
     parent[:] = np.arange(n)
-    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.csr.indptr))
+    rows = graph.csr.row_ids()
     cols = graph.csr.indices.astype(np.int64)
 
     while True:
         rt.round()
         before = parent.copy()
         # Hook: every edge pulls the larger root toward the smaller.
-        np.minimum.at(parent, before[rows], before[cols])
-        np.minimum.at(parent, before[cols], before[rows])
+        scatter_reduce(parent, before[rows], before[cols], "min")
+        scatter_reduce(parent, before[cols], before[rows], "min")
         do_all(rt, LoopCharge(
             n_items=len(rows),
             instr_per_item=4.0,

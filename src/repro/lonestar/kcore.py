@@ -39,7 +39,8 @@ def k_core(graph: Graph, k: int):
         if total:
             nbrs = nbr_cols.astype(np.int64)
             live = member[nbrs]
-            np.subtract.at(deg, nbrs[live], 1)
+            # One decrement per live neighbor hit: a counting scatter.
+            deg -= np.bincount(nbrs[live], minlength=n)
         for_each_charge(rt, LoopCharge(
             n_items=len(doomed),
             instr_per_item=3.0,

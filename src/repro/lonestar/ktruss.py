@@ -40,8 +40,7 @@ def ktruss(graph: Graph, k: int, max_rounds: int = 100000):
     csr = graph.csr
     needed = k - 2
     indptr, indices = csr.indptr, csr.indices
-    entry_rows = np.repeat(np.arange(csr.nrows, dtype=np.int64),
-                           np.diff(indptr))
+    entry_rows = csr.row_ids()
 
     alive = np.ones(csr.nvals, dtype=bool)
     rt.charge_alloc(alive.nbytes, "ktruss:alive")

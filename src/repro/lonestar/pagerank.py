@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.galois.graph import Graph
 from repro.galois.loops import LoopCharge, do_all, edge_scan_stream
+from repro.sparse.segreduce import segment_reduce
 
 #: Bytes of the packed per-vertex struct {rank f8, residual f8, degree i4}.
 AOS_STRUCT_BYTES = 20
@@ -47,9 +48,11 @@ def pagerank(graph: Graph, iters: int = 10, damping: float = 0.85,
         scanned = len(dsts)
         # --- the fused operator -----------------------------------------
         contrib = damping * residual[active] / safe_deg[active]
-        new_residual = np.zeros(n, dtype=np.float64)
         if scanned:
-            np.add.at(new_residual, dsts, contrib[seg])
+            new_residual = segment_reduce(contrib[seg], dsts, n, "plus",
+                                          dtype=np.float64)
+        else:
+            new_residual = np.zeros(n, dtype=np.float64)
         rank += new_residual          # pr update fused into the same loop
         residual[:] = new_residual
         # -----------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.galois.loops import (DEFAULT_TILE, LoopCharge, edge_scan_stream,
                                 for_each_charge)
 from repro.galois.worklist import OBIM
 from repro.perf.costmodel import Schedule
+from repro.sparse.segreduce import scatter_reduce
 
 
 def delta_stepping(
@@ -63,7 +64,7 @@ def delta_stepping(
             if scanned:
                 cand = dist[items][seg] + w.astype(dist_dtype)
                 before = dist[dsts]
-                np.minimum.at(dist, dsts, cand)
+                scatter_reduce(dist, dsts, cand, "min")
                 improved = np.unique(dsts[cand < before])
                 improved = improved[dist[improved] < inf]
             else:

@@ -5,9 +5,18 @@ and the graph API (:mod:`repro.galois`) store topology in the CSR structures
 defined here.  The kernels are vectorized with numpy for execution speed;
 performance *accounting* (instructions, access streams, scheduling) is done
 by the callers through the machine model, never inferred from wall clock.
+
+Scatter/gather reductions all route through :mod:`repro.sparse.segreduce`,
+the fast-path engine that picks the best numpy plan per monoid/dtype.
 """
 
 from repro.sparse.csr import CSRMatrix, build_csr, gather_rows
+from repro.sparse.segreduce import (
+    group_reduce,
+    identity_for,
+    scatter_reduce,
+    segment_reduce,
+)
 from repro.sparse.semiring_ops import (
     BinaryFn,
     MonoidFn,
@@ -21,4 +30,8 @@ __all__ = [
     "SegmentReducer",
     "build_csr",
     "gather_rows",
+    "group_reduce",
+    "identity_for",
+    "scatter_reduce",
+    "segment_reduce",
 ]

@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import DimensionMismatch, IndexOutOfBounds, InvalidValue
+from repro.sparse.segreduce import segment_reduce
 
 INDEX_DTYPE = np.int32
 PTR_DTYPE = np.int64
@@ -24,7 +25,8 @@ PTR_DTYPE = np.int64
 class CSRMatrix:
     """A sparse matrix in CSR form with sorted, deduplicated rows."""
 
-    __slots__ = ("nrows", "ncols", "indptr", "indices", "values")
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "values",
+                 "_row_ids", "_degrees")
 
     def __init__(self, nrows, ncols, indptr, indices, values=None):
         self.nrows = int(nrows)
@@ -32,6 +34,10 @@ class CSRMatrix:
         self.indptr = np.ascontiguousarray(indptr, dtype=PTR_DTYPE)
         self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
         self.values = None if values is None else np.ascontiguousarray(values)
+        # Structural-metadata memo (numpy-level artifacts only: these never
+        # appear in the machine model's memory accounting).
+        self._row_ids: Optional[np.ndarray] = None
+        self._degrees: Optional[np.ndarray] = None
         if len(self.indptr) != self.nrows + 1:
             raise DimensionMismatch(
                 f"indptr length {len(self.indptr)} != nrows+1 ({self.nrows + 1})"
@@ -58,8 +64,27 @@ class CSRMatrix:
         return total
 
     def row_degrees(self) -> np.ndarray:
-        """Number of explicit entries per row."""
-        return np.diff(self.indptr)
+        """Number of explicit entries per row (cached; do not mutate)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+            self._degrees.setflags(write=False)
+        return self._degrees
+
+    def row_ids(self) -> np.ndarray:
+        """Row id of each explicit entry, ascending (cached; do not mutate).
+
+        The expanded ``np.repeat(arange(nrows), diff(indptr))`` array that
+        the vectorized kernels all need; computing it once per matrix
+        instead of once per kernel call is the structural-metadata cache.
+        Being sorted, it is also a valid ``sorted_ids`` argument to
+        :func:`repro.sparse.segreduce.segment_reduce`.
+        """
+        if self._row_ids is None:
+            self._row_ids = np.repeat(
+                np.arange(self.nrows, dtype=np.int64), self.row_degrees()
+            )
+            self._row_ids.setflags(write=False)
+        return self._row_ids
 
     def row(self, i: int):
         """(columns, values) of row ``i``; values is None for pattern."""
@@ -90,9 +115,7 @@ class CSRMatrix:
     def transpose(self) -> "CSRMatrix":
         """The transposed matrix, also in CSR (i.e. this matrix's CSC view)."""
         nnz = self.nvals
-        rows = np.repeat(
-            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr)
-        )
+        rows = self.row_ids()
         order = np.argsort(self.indices, kind="stable")
         new_indices = rows[order]
         new_values = None if self.values is None else self.values[order]
@@ -111,9 +134,7 @@ class CSRMatrix:
         return self._triangular(lower=False, strict=strict)
 
     def _triangular(self, lower: bool, strict: bool) -> "CSRMatrix":
-        rows = np.repeat(
-            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr)
-        )
+        rows = self.row_ids()
         if lower:
             keep = self.indices < rows if strict else self.indices <= rows
         else:
@@ -124,10 +145,7 @@ class CSRMatrix:
         """New matrix keeping only entries where ``keep`` (bool mask) holds."""
         if len(keep) != self.nvals:
             raise DimensionMismatch("keep mask length must equal nvals")
-        rows = np.repeat(
-            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr)
-        )
-        new_rows = rows[keep]
+        new_rows = self.row_ids()[keep]
         counts = np.bincount(new_rows, minlength=self.nrows)
         new_indptr = np.concatenate(([0], np.cumsum(counts))).astype(PTR_DTYPE)
         return CSRMatrix(
@@ -148,8 +166,7 @@ class CSRMatrix:
             raise DimensionMismatch("permute requires a square matrix and full perm")
         inverse = np.empty_like(perm)
         inverse[perm] = np.arange(len(perm), dtype=perm.dtype)
-        old_rows = np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr))
-        new_rows = inverse[old_rows].astype(np.int64)
+        new_rows = inverse[self.row_ids()].astype(np.int64)
         new_cols = inverse[self.indices].astype(INDEX_DTYPE)
         vals = self.values
         return build_csr(
@@ -221,22 +238,17 @@ def build_csr(
                 # Last occurrence of each key in the stable order.
                 last_pos = np.concatenate((first_pos[1:], [len(keys)])) - 1
                 values_sorted = values_sorted[last_pos]
-            elif dedup == "sum":
-                seg = np.repeat(
-                    np.arange(len(unique_keys)),
-                    np.diff(np.concatenate((first_pos, [len(keys)]))),
+            elif dedup in ("sum", "min"):
+                # Duplicate runs are contiguous in the stable key order, so
+                # first_pos doubles as the reduction's row_splits — and the
+                # reduction happens in the value dtype itself (the seed's
+                # float64 round-trip truncated int64 and dropped dtype).
+                splits = np.concatenate((first_pos, [len(keys)]))
+                values_sorted = segment_reduce(
+                    values_sorted, None, len(unique_keys),
+                    "plus" if dedup == "sum" else "min",
+                    dtype=values_sorted.dtype, row_splits=splits,
                 )
-                values_sorted = np.bincount(
-                    seg, weights=values_sorted, minlength=len(unique_keys)
-                ).astype(values_sorted.dtype)
-            elif dedup == "min":
-                out = np.full(len(unique_keys), np.inf)
-                seg = np.repeat(
-                    np.arange(len(unique_keys)),
-                    np.diff(np.concatenate((first_pos, [len(keys)]))),
-                )
-                np.minimum.at(out, seg, values_sorted.astype(np.float64))
-                values_sorted = out.astype(values_sorted.dtype)
             else:
                 raise InvalidValue(f"unknown dedup policy {dedup!r}")
     elif values_sorted is not None and dedup == "last":

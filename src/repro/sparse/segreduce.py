@@ -1,0 +1,261 @@
+"""Fast-path segment reduction engine.
+
+Every hot scatter-reduction in the repo — the semiring "add" across CSR
+row segments, SpGEMM's SAXPY combine, the lonestar kernels' test-and-set
+rounds — is some instance of *segment reduce*: fold ``values`` grouped by
+``segment_ids`` with a monoid.  This module is the single entry point for
+that operation; it picks the fastest numpy plan per monoid/dtype/sortedness
+instead of leaving each call site to hand-roll a ``np.ufunc.at`` loop.
+
+Plans, in the order the dispatcher tries them:
+
+* ``row_splits`` (CSR ``indptr``-style boundaries) — the caller proves the
+  values are already grouped contiguously per segment, so the reduction is
+  one ``ufunc.reduceat`` over the precomputed starts: no sort, no scatter.
+  CSR row expansions (SpMV pull, reduce-to-vector, build dedup) hit this.
+* ``sorted_ids`` — same, but the boundaries are recovered with one
+  ``diff``/``flatnonzero`` scan first.
+* *plus over float64* — ``np.bincount(weights=...)``, which accumulates
+  sequentially in array order and is therefore **bit-identical** to the
+  ``np.add.at`` loop it replaces (``ufunc.reduceat`` is not: it uses
+  blocked accumulation, so it is reserved for exact dtypes).  Narrower
+  floats keep the sequential ``np.add.at`` scatter: any plan that widens
+  the accumulator or blocks the sum rounds differently.
+* *plus over ints/bools* — ``np.add.at`` on the **value dtype itself**.
+  The seed routed integer sums through ``bincount``'s float64 weights,
+  silently rounding int64 values >= 2**53 and changing overflow semantics;
+  accumulating in the integer dtype is exact (wrap-around matches numpy's
+  own integer arithmetic).
+* *everything else* — a pre-cast ``ufunc.at`` scatter.
+
+On the ``ufunc.at`` uses inside this module: numpy >= 1.24 ships indexed
+inner loops that make dtype-matched ``ufunc.at`` run at memcpy-like speed,
+but only when no casting is involved — a mismatched operand silently falls
+back to the original unbuffered one-element-at-a-time loop, which measures
+10-20x slower (see ``benchmarks/bench_wallclock.py``).  The engine
+guarantees the fast loop by casting values to the output dtype *before*
+the scatter, and it is the only place in the kernel code allowed to call
+``ufunc.at`` at all, so the fast/slow distinction is enforced in one spot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import IndexOutOfBounds, InvalidValue
+
+#: Monoid kinds the engine understands (the study's semiring "add" set).
+MONOID_KINDS = ("plus", "times", "min", "max", "lor", "land")
+
+#: The reduceat/at ufunc per monoid kind.  ``land`` reduces with minimum and
+#: ``lor`` with maximum over the identity-filled output, matching the seed's
+#: semantics (values are 0/1-valued wherever these monoids are used).
+_UFUNC = {
+    "plus": np.add,
+    "times": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+    "land": np.minimum,
+    "lor": np.maximum,
+}
+
+
+def identity_for(kind: str, dtype) -> object:
+    """The monoid identity value for a given dtype.
+
+    MIN/MAX use the dtype's extreme values so integer distance vectors behave
+    like the 32-/64-bit distance types the paper switches between for
+    eukarya (§IV).
+    """
+    dtype = np.dtype(dtype)
+    if kind == "plus":
+        return dtype.type(0)
+    if kind == "times":
+        return dtype.type(1)
+    if kind == "min":
+        if dtype.kind == "f":
+            return dtype.type(np.inf)
+        if dtype.kind == "b":
+            return dtype.type(True)
+        return np.iinfo(dtype).max
+    if kind == "max":
+        if dtype.kind == "f":
+            return dtype.type(-np.inf)
+        if dtype.kind == "b":
+            return dtype.type(False)
+        return np.iinfo(dtype).min
+    if kind == "lor":
+        return dtype.type(0)
+    if kind == "land":
+        return dtype.type(1)
+    raise InvalidValue(f"unknown monoid kind {kind!r}")
+
+
+def _kind_of(monoid: Union[str, object]) -> str:
+    """Accept either a kind string or anything with a ``.kind`` attribute."""
+    kind = monoid if isinstance(monoid, str) else getattr(monoid, "kind", None)
+    if kind not in MONOID_KINDS:
+        raise InvalidValue(f"unknown monoid kind {kind!r}")
+    return kind
+
+
+def segment_starts(sorted_ids: np.ndarray) -> np.ndarray:
+    """Start offsets of each run of equal ids in a sorted id array."""
+    if len(sorted_ids) == 0:
+        return np.empty(0, dtype=np.int64)
+    boundaries = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
+    return np.concatenate(([0], boundaries))
+
+
+def _reduceat_dense(
+    ufunc, values: np.ndarray, starts: np.ndarray, seg_of_start: np.ndarray,
+    n_segments: int, identity, dtype,
+) -> np.ndarray:
+    """Dense output from one reduceat over contiguous segment runs."""
+    out = np.full(n_segments, identity, dtype=dtype)
+    if len(starts):
+        out[seg_of_start] = ufunc.reduceat(values, starts)
+    return out
+
+
+def segment_reduce(
+    values: np.ndarray,
+    segment_ids: Optional[np.ndarray],
+    n_segments: int,
+    monoid: Union[str, object],
+    dtype=None,
+    sorted_ids: bool = False,
+    row_splits: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Reduce ``values`` grouped by ``segment_ids`` into a dense vector.
+
+    Returns an array of length ``n_segments`` holding the monoid reduction
+    of each segment's values, and the monoid identity where a segment
+    received none.  ``segment_ids`` need not be sorted; pass
+    ``sorted_ids=True`` when they provably are (CSR row expansions), or
+    ``row_splits`` (an ``indptr``-style boundary array of length
+    ``n_segments + 1``) when the grouping boundaries are already known —
+    both skip the scatter entirely.  ``segment_ids`` may be None when
+    ``row_splits`` fully describes the grouping.
+    """
+    values = np.asarray(values)
+    if segment_ids is not None:
+        segment_ids = np.asarray(segment_ids)
+    elif row_splits is None:
+        raise InvalidValue("segment_ids may only be omitted with row_splits")
+    kind = _kind_of(monoid)
+    dtype = np.dtype(dtype if dtype is not None else values.dtype)
+    identity = identity_for(kind, dtype)
+    if len(values) == 0 or n_segments == 0:
+        return np.full(n_segments, identity, dtype=dtype)
+
+    def ids():
+        # Materialized only by the bincount plans; derived from row_splits
+        # when the caller could prove the grouping without an id array.
+        if segment_ids is not None:
+            return np.asarray(segment_ids)
+        return np.repeat(np.arange(n_segments, dtype=np.int64),
+                         np.diff(row_splits))
+
+    def _checked(counts):
+        # bincount sizes its output to the max id: longer than n_segments
+        # means an out-of-range id, which the ufunc.at plans would have
+        # raised on — fail just as loudly instead of silently dropping.
+        if len(counts) > n_segments:
+            raise IndexOutOfBounds(
+                f"segment id out of range for {n_segments} segments")
+        return counts
+
+    if kind == "plus" and dtype.kind == "f":
+        if dtype == np.float64:
+            # bincount accumulates in array order — bit-identical to the
+            # sequential np.add.at loop, unlike reduceat's blocked sums.
+            return _checked(np.bincount(ids(),
+                                        weights=values.astype(np.float64),
+                                        minlength=n_segments))
+        # Narrower floats must round after *every* addition to match the
+        # np.add.at loops they replace; bincount's float64 accumulator and
+        # reduceat's blocked sums both round differently, so the sequential
+        # indexed scatter is the only bit-identical plan.
+        out = np.full(n_segments, identity, dtype=dtype)
+        np.add.at(out, ids(), values.astype(dtype, copy=False))
+        return out
+
+    if kind == "lor":
+        # "Any nonzero value in the segment": count nonzeros per segment.
+        out = _checked(np.bincount(ids()[np.asarray(values, dtype=bool)],
+                                   minlength=n_segments)) > 0
+        return out.astype(dtype, copy=False)
+
+    ufunc = _UFUNC[kind]
+    vals = values.astype(dtype, copy=False)
+
+    if row_splits is not None:
+        starts = np.asarray(row_splits[:-1], dtype=np.int64)
+        nonempty = np.flatnonzero(row_splits[1:] > starts)
+        # reduceat over only the nonempty starts: empty runs contribute no
+        # positions, so each slice covers exactly one segment.
+        return _reduceat_dense(ufunc, vals, starts[nonempty], nonempty,
+                               n_segments, identity, dtype)
+
+    if sorted_ids:
+        starts = segment_starts(segment_ids)
+        return _reduceat_dense(ufunc, vals, starts, segment_ids[starts],
+                               n_segments, identity, dtype)
+
+    # Unsorted ids: a dtype-matched indexed ufunc.at scatter is the fastest
+    # plan on numpy >= 1.24 (sorting first costs more than the scatter);
+    # the pre-cast above keeps it off the slow generic cast path.  This is
+    # the engine's one sanctioned ufunc.at use — call sites go through here.
+    out = np.full(n_segments, identity, dtype=dtype)
+    ufunc.at(out, segment_ids, vals)
+    return out
+
+
+def scatter_reduce(
+    out: np.ndarray,
+    ids: np.ndarray,
+    values: np.ndarray,
+    monoid: Union[str, object],
+) -> np.ndarray:
+    """In-place ``out[ids] = monoid(out[ids], values)``, vectorized.
+
+    The drop-in replacement for the kernels' ``np.<ufunc>.at(out, ids,
+    values)`` scatter loops; ``out`` is updated in place and returned.
+    Float ``plus`` keeps ``np.add.at``'s exact sequential accumulation
+    order, so results are bit-identical to the loops it replaces.
+    """
+    ids = np.asarray(ids)
+    values = np.asarray(values)
+    if len(ids) == 0:
+        return out
+    kind = _kind_of(monoid)
+    # Same reasoning as in segment_reduce: the pre-cast guarantees numpy's
+    # indexed .at loop; this is the engine's sanctioned scatter primitive.
+    _UFUNC[kind].at(out, ids, values.astype(out.dtype, copy=False))
+    return out
+
+
+def group_reduce(
+    keys: np.ndarray,
+    values: np.ndarray,
+    n_keys: int,
+    monoid: Union[str, object],
+    dtype=None,
+):
+    """Reduce by (possibly huge-ranged) keys densified to ``[0, n_keys)``.
+
+    The sparse-output companion of :func:`segment_reduce` for the push-style
+    kernels: ``keys`` index a dense space of size ``n_keys`` (a vector
+    dimension), and only the touched keys are returned.  Returns
+    ``(touched_keys, reduced_values)`` with ``touched_keys`` sorted
+    ascending.  Replaces the ``np.unique(..., return_inverse=True)`` +
+    reduce idiom, which costs an O(n log n) sort where two O(n) bincount
+    passes suffice.
+    """
+    keys = np.asarray(keys)
+    dense = segment_reduce(values, keys, n_keys, monoid, dtype=dtype)
+    touched = np.flatnonzero(np.bincount(keys, minlength=n_keys)[:n_keys])
+    return touched, dense[touched]

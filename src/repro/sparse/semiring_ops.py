@@ -13,33 +13,12 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import InvalidValue
+from repro.sparse.segreduce import identity_for, segment_reduce
 
-
-def identity_for(kind: str, dtype) -> object:
-    """The monoid identity value for a given dtype.
-
-    MIN/MAX use the dtype's extreme values so integer distance vectors behave
-    like the 32-/64-bit distance types the paper switches between for
-    eukarya (§IV).
-    """
-    dtype = np.dtype(dtype)
-    if kind == "plus":
-        return dtype.type(0)
-    if kind == "times":
-        return dtype.type(1)
-    if kind == "min":
-        if dtype.kind == "f":
-            return dtype.type(np.inf)
-        return np.iinfo(dtype).max
-    if kind == "max":
-        if dtype.kind == "f":
-            return dtype.type(-np.inf)
-        return np.iinfo(dtype).min
-    if kind == "lor":
-        return dtype.type(0)
-    if kind == "land":
-        return dtype.type(1)
-    raise InvalidValue(f"unknown monoid kind {kind!r}")
+__all__ = [
+    "identity_for", "BinaryFn", "BINARY_FNS", "MonoidFn", "MONOID_FNS",
+    "SegmentReducer",
+]
 
 
 class BinaryFn:
@@ -152,44 +131,22 @@ class SegmentReducer:
         segment_ids: np.ndarray,
         n_segments: int,
         dtype=None,
+        sorted_ids: bool = False,
+        row_splits=None,
     ) -> np.ndarray:
         """Dense output of length ``n_segments``; identity where no values.
 
-        ``segment_ids`` need not be sorted.
+        ``segment_ids`` need not be sorted; the ``sorted_ids`` /
+        ``row_splits`` hints unlock the engine's presorted reduceat plans.
+        Delegates to :func:`repro.sparse.segreduce.segment_reduce`, which
+        picks the fastest plan per monoid/dtype.
         """
-        values = np.asarray(values)
-        dtype = np.dtype(dtype or values.dtype)
-        kind = self.monoid.kind
-        if kind == "plus":
-            out = np.bincount(segment_ids, weights=values.astype(np.float64),
-                              minlength=n_segments)
-            return out.astype(dtype)
-        if kind == "lor":
-            out = np.zeros(n_segments, dtype=bool)
-            if len(segment_ids):
-                counted = np.bincount(
-                    segment_ids[np.asarray(values, dtype=bool)], minlength=n_segments
-                )
-                out = counted > 0
-            return out.astype(dtype)
-        out = np.full(n_segments, self.monoid.identity(dtype), dtype=dtype)
-        if len(values) == 0:
-            return out
-        if kind == "min":
-            np.minimum.at(out, segment_ids, values.astype(dtype))
-        elif kind == "max":
-            np.maximum.at(out, segment_ids, values.astype(dtype))
-        elif kind == "land":
-            np.minimum.at(out, segment_ids, values.astype(dtype))
-        elif kind == "times":
-            np.multiply.at(out, segment_ids, values.astype(dtype))
-        else:
-            raise InvalidValue(f"unsupported segment monoid {kind!r}")
-        return out
+        return segment_reduce(values, segment_ids, n_segments,
+                              self.monoid.kind, dtype=dtype,
+                              sorted_ids=sorted_ids, row_splits=row_splits)
 
     def touched(self, segment_ids: np.ndarray, n_segments: int) -> np.ndarray:
         """Boolean array marking segments that received at least one value."""
-        out = np.zeros(n_segments, dtype=bool)
-        if len(segment_ids):
-            out[np.unique(segment_ids)] = True
-        return out
+        if len(segment_ids) == 0:
+            return np.zeros(n_segments, dtype=bool)
+        return np.bincount(segment_ids, minlength=n_segments)[:n_segments] > 0

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import DimensionMismatch
 from repro.sparse.csr import CSRMatrix, INDEX_DTYPE, PTR_DTYPE, gather_rows
+from repro.sparse.segreduce import segment_reduce
 from repro.sparse.semiring_ops import BinaryFn, MonoidFn, SegmentReducer
 
 #: Default cap on the expansion buffer of one SAXPY batch (elements).
@@ -36,8 +37,7 @@ def spgemm_flop_count(A: CSRMatrix, B: CSRMatrix) -> int:
     This is what SuiteSparse's inspector computes to choose a method and to
     size allocations.
     """
-    b_deg = np.diff(B.indptr)
-    return int(b_deg[A.indices].sum())
+    return int(B.row_degrees()[A.indices].sum())
 
 
 def spgemm_saxpy(
@@ -53,13 +53,14 @@ def spgemm_saxpy(
         raise DimensionMismatch(f"inner dimensions differ: {A.ncols} vs {B.nrows}")
     out_dtype = np.dtype(out_dtype)
     reducer = SegmentReducer(add)
-    b_deg = np.diff(B.indptr)
+    b_deg = B.row_degrees()
 
-    # Partition A's rows into batches whose expansion fits the buffer.
-    row_flops = np.zeros(A.nrows, dtype=np.int64)
-    if A.nvals:
-        a_rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
-        np.add.at(row_flops, a_rows, b_deg[A.indices])
+    # Partition A's rows into batches whose expansion fits the buffer.  The
+    # cached row-id expansion is shared with the batch loop below, which
+    # slices it instead of rebuilding np.repeat per batch.
+    a_rows = A.row_ids()
+    row_flops = segment_reduce(b_deg[A.indices], a_rows, A.nrows, "plus",
+                               dtype=np.int64, row_splits=A.indptr)
     total_flops = int(row_flops.sum())
 
     chunks_rows = []
@@ -76,10 +77,7 @@ def spgemm_saxpy(
         lo, hi = A.indptr[row_lo], A.indptr[row_hi]
         ks = A.indices[lo:hi].astype(np.int64)
         if len(ks):
-            entry_rows = np.repeat(
-                np.arange(row_lo, row_hi, dtype=np.int64),
-                np.diff(A.indptr[row_lo : row_hi + 1]),
-            )
+            entry_rows = a_rows[lo:hi]
             cols, positions, seg = gather_rows(B, ks)
             if len(cols):
                 a_vals = (
@@ -209,16 +207,8 @@ def spgemm_masked_saxpy(
     unmasked product's.
     """
     C, flops = spgemm_saxpy(A, B, add, mult, out_dtype, batch_flops)
-    mask_keys = (
-        np.repeat(np.arange(mask.nrows, dtype=np.int64), np.diff(mask.indptr))
-        * np.int64(mask.ncols)
-        + mask.indices
-    )
-    c_keys = (
-        np.repeat(np.arange(C.nrows, dtype=np.int64), np.diff(C.indptr))
-        * np.int64(C.ncols)
-        + C.indices
-    )
+    mask_keys = mask.row_ids() * np.int64(mask.ncols) + mask.indices
+    c_keys = C.row_ids() * np.int64(C.ncols) + C.indices
     keep = np.isin(c_keys, mask_keys, assume_unique=True)
     return C.filter_entries(keep), flops
 
@@ -235,7 +225,7 @@ def spgemm_diag_left(
     if len(diag) != B.nrows:
         raise DimensionMismatch("diagonal length must equal B.nrows")
     out_dtype = np.dtype(out_dtype)
-    row_of = np.repeat(np.arange(B.nrows, dtype=np.int64), np.diff(B.indptr))
+    row_of = B.row_ids()
     b_vals = B.value_array(out_dtype)
     vals = mult.apply(diag[row_of].astype(out_dtype, copy=False), b_vals)
     C = CSRMatrix(B.nrows, B.ncols, B.indptr.copy(), B.indices.copy(), vals)

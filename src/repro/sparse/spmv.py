@@ -20,6 +20,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix, gather_rows
+from repro.sparse.segreduce import group_reduce
 from repro.sparse.semiring_ops import BinaryFn, MonoidFn, SegmentReducer
 
 
@@ -37,12 +38,15 @@ def spmv_pull(
     """
     out_dtype = np.dtype(out_dtype or x.dtype)
     nnz = A.nvals
-    rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
+    rows = A.row_ids()
     a_vals = A.value_array(out_dtype)
     products = mult.apply(a_vals, x[A.indices])
     reducer = SegmentReducer(add)
-    y = reducer.reduce(products, rows, A.nrows, dtype=out_dtype)
-    touched = np.diff(A.indptr) > 0
+    # CSR entries are grouped by row, so indptr doubles as the reduction's
+    # segment boundaries — the presorted fast path.
+    y = reducer.reduce(products, rows, A.nrows, dtype=out_dtype,
+                       row_splits=A.indptr)
+    touched = A.row_degrees() > 0
     return y, touched, nnz
 
 
@@ -74,10 +78,10 @@ def vxm_push(
         else A.values[positions].astype(out_dtype, copy=False)
     )
     products = mult.apply(x_vals[seg].astype(out_dtype, copy=False), a_vals)
-    cols64 = cols.astype(np.int64)
-    y_idx, inverse = np.unique(cols64, return_inverse=True)
-    reducer = SegmentReducer(add)
-    y_vals = reducer.reduce(products, inverse, len(y_idx), dtype=out_dtype)
+    # Densify-by-column instead of np.unique(return_inverse): two O(n)
+    # bincount passes where unique pays an O(n log n) sort.
+    y_idx, y_vals = group_reduce(cols.astype(np.int64), products, A.ncols,
+                                 add, dtype=out_dtype)
     return y_idx, y_vals, flops
 
 
@@ -109,7 +113,6 @@ def mxv_push_transposed(
         else At.values[positions].astype(out_dtype, copy=False)
     )
     products = mult.apply(a_vals, x_vals[seg].astype(out_dtype, copy=False))
-    y_idx, inverse = np.unique(cols.astype(np.int64), return_inverse=True)
-    reducer = SegmentReducer(add)
-    y_vals = reducer.reduce(products, inverse, len(y_idx), dtype=out_dtype)
+    y_idx, y_vals = group_reduce(cols.astype(np.int64), products, At.ncols,
+                                 add, dtype=out_dtype)
     return y_idx, y_vals, flops

@@ -110,7 +110,7 @@ def twin_positions(csr: CSRMatrix) -> np.ndarray:
     """
     if csr.nvals == 0:
         return np.empty(0, dtype=np.int64)
-    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64), np.diff(csr.indptr))
+    rows = csr.row_ids()
     cols = csr.indices.astype(np.int64)
     # CSR entries are sorted by (row, col), so the flattened keys are sorted
     # ascending and each reversed key can be located with one binary search.

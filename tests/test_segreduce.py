@@ -1,0 +1,379 @@
+"""Property-style tests for the fast-path segment reduction engine.
+
+Checks :func:`repro.sparse.segreduce.segment_reduce` against a naive Python
+reference for every monoid kind x dtype, plus the precision regression the
+engine fixes (integer sums routed through float64) and bit-identical
+equivalence of the rewired lonestar kernels against the seed's
+``np.ufunc.at`` formulations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.galois.graph import Graph
+from repro.lonestar import afforest, bfs, delta_stepping, pagerank, shiloach_vishkin
+from repro.lonestar.bfs import bfs_parent
+from repro.perf.machine import Machine
+from repro.runtime.galois_rt import GaloisRuntime
+from repro.sparse.csr import build_csr
+from repro.sparse.segreduce import (
+    group_reduce,
+    identity_for,
+    scatter_reduce,
+    segment_reduce,
+    segment_starts,
+)
+
+from tests.conftest import random_digraph
+
+KINDS = ("plus", "times", "min", "max", "lor", "land")
+DTYPES = (np.int32, np.int64, np.float32, np.float64, np.bool_)
+
+
+def naive_reduce(values, ids, n_segments, kind, dtype):
+    """One-value-at-a-time Python reference for segment_reduce."""
+    dtype = np.dtype(dtype)
+    out = np.full(n_segments, identity_for(kind, dtype), dtype=dtype)
+    combine = {
+        "plus": np.add, "times": np.multiply, "min": np.minimum,
+        "max": np.maximum, "land": np.minimum,
+    }
+    for v, s in zip(np.asarray(values).astype(dtype), ids):
+        if kind == "lor":
+            out[s] = dtype.type(out[s] or bool(v))
+        else:
+            out[s] = combine[kind](out[s], v)
+    return out
+
+
+def sample_values(rng, n, dtype, kind):
+    """Values valid for the monoid: 0/1 for the logical kinds."""
+    dtype = np.dtype(dtype)
+    if kind in ("lor", "land") or dtype.kind == "b":
+        return rng.integers(0, 2, n).astype(dtype)
+    if dtype.kind == "f":
+        return (rng.standard_normal(n) * 8).astype(dtype)
+    return rng.integers(-50, 50, n).astype(dtype)
+
+
+class TestSegmentReduceProperty:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+    def test_unsorted_ids_match_reference(self, kind, dtype):
+        rng = np.random.default_rng(7)
+        n_seg = 13
+        ids = rng.integers(0, n_seg, 200)
+        values = sample_values(rng, 200, dtype, kind)
+        got = segment_reduce(values, ids, n_seg, kind, dtype=dtype)
+        want = naive_reduce(values, ids, n_seg, kind, dtype)
+        assert got.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+    def test_sorted_fast_path_matches(self, kind, dtype):
+        rng = np.random.default_rng(11)
+        n_seg = 17
+        ids = np.sort(rng.integers(0, n_seg, 300))
+        values = sample_values(rng, 300, dtype, kind)
+        slow = segment_reduce(values, ids, n_seg, kind, dtype=dtype)
+        fast = segment_reduce(values, ids, n_seg, kind, dtype=dtype,
+                              sorted_ids=True)
+        np.testing.assert_array_equal(slow, fast)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_row_splits_fast_path_matches(self, kind):
+        rng = np.random.default_rng(13)
+        n_seg = 9
+        lens = rng.integers(0, 12, n_seg)  # includes empty segments
+        splits = np.concatenate(([0], np.cumsum(lens)))
+        ids = np.repeat(np.arange(n_seg), lens)
+        values = sample_values(rng, int(lens.sum()), np.int64, kind)
+        want = naive_reduce(values, ids, n_seg, kind, np.int64)
+        got = segment_reduce(values, None, n_seg, kind, dtype=np.int64,
+                             row_splits=splits)
+        np.testing.assert_array_equal(got, want)
+        got_ids = segment_reduce(values, ids, n_seg, kind, dtype=np.int64,
+                                 row_splits=splits)
+        np.testing.assert_array_equal(got_ids, want)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+    def test_empty_input_is_identity(self, kind, dtype):
+        out = segment_reduce(np.empty(0, dtype=dtype), np.empty(0, np.int64),
+                             5, kind, dtype=dtype)
+        assert len(out) == 5
+        np.testing.assert_array_equal(
+            out, np.full(5, identity_for(kind, dtype), dtype=dtype))
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_single_segment(self, kind):
+        rng = np.random.default_rng(3)
+        values = sample_values(rng, 64, np.int64, kind)
+        out = segment_reduce(values, np.zeros(64, np.int64), 1, kind,
+                             dtype=np.int64)
+        want = naive_reduce(values, np.zeros(64, np.int64), 1, kind, np.int64)
+        np.testing.assert_array_equal(out, want)
+
+    def test_untouched_segments_keep_identity(self):
+        out = segment_reduce([5, 3], [1, 1], 4, "min", dtype=np.int64)
+        assert out[1] == 3
+        assert (out[[0, 2, 3]] == np.iinfo(np.int64).max).all()
+
+    @pytest.mark.parametrize("kind", ("plus", "min", "lor"))
+    def test_out_of_range_id_raises_on_every_plan(self, kind):
+        # The bincount plans must fail as loudly as ufunc.at would, not
+        # silently drop out-of-range contributions.
+        from repro.errors import IndexOutOfBounds
+
+        with pytest.raises((IndexOutOfBounds, IndexError)):
+            segment_reduce(np.array([1.0, 2.0]), np.array([0, 7]), 3, kind)
+
+    def test_segment_starts(self):
+        ids = np.array([0, 0, 2, 2, 2, 5])
+        np.testing.assert_array_equal(segment_starts(ids), [0, 2, 5])
+        assert len(segment_starts(np.empty(0, np.int64))) == 0
+
+
+class TestIntegerPrecisionRegression:
+    """The satellite bug: int64 sums were routed through float64 weights."""
+
+    def test_large_int64_sum_is_exact(self):
+        # 2**53 + 1 is the first integer float64 cannot represent; a
+        # float64 round-trip silently turns the sum into 2**53.
+        big = np.array([2**53, 1, 2**60, -(2**60)], dtype=np.int64)
+        ids = np.zeros(4, dtype=np.int64)
+        out = segment_reduce(big, ids, 1, "plus", dtype=np.int64)
+        assert out[0] == 2**53 + 1
+
+    def test_segment_reducer_plus_is_exact(self):
+        from repro.sparse.semiring_ops import MONOID_FNS, SegmentReducer
+
+        reducer = SegmentReducer(MONOID_FNS["plus"])
+        values = np.array([2**53, 1, 1, -1], dtype=np.int64)
+        ids = np.array([0, 0, 1, 1], dtype=np.int64)
+        out = reducer.reduce(values, ids, 2, dtype=np.int64)
+        np.testing.assert_array_equal(out, [2**53 + 1, 0])
+
+    def test_float_plus_unchanged_bincount_order(self):
+        # Float sums must keep np.add.at's sequential accumulation order.
+        rng = np.random.default_rng(5)
+        values = rng.standard_normal(500)
+        ids = rng.integers(0, 20, 500)
+        want = np.zeros(20)
+        np.add.at(want, ids, values)
+        got = segment_reduce(values, ids, 20, "plus", dtype=np.float64)
+        np.testing.assert_array_equal(got, want)
+
+    def test_build_csr_min_dedup_preserves_dtype(self):
+        # The satellite fix in csr.py: dedup-on-build kept a float64
+        # round-trip that truncated large int64 weights.
+        big = 2**53
+        rows = np.array([0, 0, 1])
+        cols = np.array([1, 1, 0])
+        vals = np.array([big + 1, big + 3, 7], dtype=np.int64)
+        csr = build_csr(2, 2, rows, cols, vals, dedup="min")
+        assert csr.values.dtype == np.int64
+        np.testing.assert_array_equal(csr.values, [big + 1, 7])
+
+    def test_build_csr_sum_dedup_exact_int(self):
+        rows = np.array([0, 0])
+        cols = np.array([1, 1])
+        vals = np.array([2**53, 1], dtype=np.int64)
+        csr = build_csr(1, 2, rows, cols, vals, dedup="sum")
+        assert csr.values[0] == 2**53 + 1
+
+
+class TestScatterAndGroupReduce:
+    @pytest.mark.parametrize("kind,ufunc", [
+        ("plus", np.add), ("min", np.minimum), ("max", np.maximum),
+    ])
+    def test_scatter_reduce_matches_ufunc_at(self, kind, ufunc):
+        rng = np.random.default_rng(17)
+        ids = rng.integers(0, 40, 300)
+        values = rng.standard_normal(300)
+        want = rng.standard_normal(40)
+        got = want.copy()
+        ufunc.at(want, ids, values)
+        scatter_reduce(got, ids, values, kind)
+        np.testing.assert_array_equal(got, want)
+
+    def test_scatter_reduce_empty_noop(self):
+        out = np.arange(4, dtype=np.int64)
+        scatter_reduce(out, np.empty(0, np.int64), np.empty(0, np.int64),
+                       "min")
+        np.testing.assert_array_equal(out, np.arange(4))
+
+    def test_scatter_reduce_casts_to_out_dtype(self):
+        out = np.full(3, 10.0)
+        scatter_reduce(out, np.array([1, 1]), np.array([3, 4], np.int64),
+                       "min")
+        np.testing.assert_array_equal(out, [10.0, 3.0, 10.0])
+
+    @pytest.mark.parametrize("kind", ("plus", "min", "max"))
+    def test_group_reduce_matches_unique_formulation(self, kind):
+        rng = np.random.default_rng(23)
+        keys = rng.integers(0, 50, 400)
+        values = rng.standard_normal(400)
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        want = naive_reduce(values, inverse, len(uniq), kind, np.float64)
+        got_keys, got_vals = group_reduce(keys, values, 50, kind,
+                                          dtype=np.float64)
+        np.testing.assert_array_equal(got_keys, uniq)
+        np.testing.assert_allclose(got_vals, want, rtol=1e-12)
+
+
+def _graph(csr, weights=None):
+    return Graph(GaloisRuntime(Machine()), csr, weights)
+
+
+class TestRewireEquivalence:
+    """Algorithm outputs are bit-identical to the seed's ufunc.at kernels."""
+
+    @pytest.fixture(scope="class")
+    def inputs(self):
+        csr, sym = random_digraph(n=120, m=700, seed=9)
+        return csr, sym
+
+    def test_bfs_levels(self, inputs):
+        csr, _ = inputs
+        dist = bfs(_graph(csr), 0)
+        # Seed-style reference round: unbuffered test-and-set per frontier.
+        n = csr.nrows
+        inf = np.iinfo(np.uint32).max
+        ref = np.full(n, inf, dtype=np.uint32)
+        ref[0] = 1
+        frontier = [0]
+        level = 1
+        while frontier:
+            level += 1
+            nxt = set()
+            for u in frontier:
+                for v in csr.indices[csr.indptr[u]:csr.indptr[u + 1]]:
+                    if ref[v] == inf:
+                        ref[v] = level
+                        nxt.add(int(v))
+            frontier = sorted(nxt)
+        np.testing.assert_array_equal(
+            dist, np.where(ref == inf, 0, ref).astype(np.int32))
+
+    def test_bfs_parent_min_tiebreak(self, inputs):
+        csr, _ = inputs
+        parent = bfs_parent(_graph(csr), 0)
+        n = csr.nrows
+        ref = np.full(n, -1, dtype=np.int64)
+        ref[0] = 0
+        frontier = [0]
+        while frontier:
+            stage = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+            fresh = set()
+            for u in frontier:
+                for v in csr.indices[csr.indptr[u]:csr.indptr[u + 1]]:
+                    if ref[v] == -1:
+                        stage[v] = min(stage[v], u)
+                        fresh.add(int(v))
+            for v in fresh:
+                ref[v] = stage[v]
+            frontier = sorted(fresh)
+        np.testing.assert_array_equal(parent, ref)
+
+    def test_sssp_distances(self, inputs):
+        csr, _ = inputs
+        dist = delta_stepping(_graph(csr, csr.values), 0, delta=8)
+        # Bellman-Ford reference: exact shortest path in int64.
+        n = csr.nrows
+        inf = np.iinfo(np.int64).max
+        ref = np.full(n, inf, dtype=np.int64)
+        ref[0] = 0
+        for _ in range(n):
+            changed = False
+            for u in range(n):
+                if ref[u] == inf:
+                    continue
+                lo, hi = csr.indptr[u], csr.indptr[u + 1]
+                for v, w in zip(csr.indices[lo:hi], csr.values[lo:hi]):
+                    if ref[u] + w < ref[v]:
+                        ref[v] = ref[u] + w
+                        changed = True
+            if not changed:
+                break
+        np.testing.assert_array_equal(dist, ref)
+
+    def test_pagerank_bitwise(self, inputs):
+        csr, _ = inputs
+        rank = pagerank(_graph(csr), iters=6)
+        # Seed formulation: the exact same round arithmetic, but with the
+        # unbuffered np.add.at scatter the engine replaced.
+        n = csr.nrows
+        damping = 0.85
+        base = (1.0 - damping) / n
+        ref_rank = np.full(n, base)
+        residual = np.full(n, base)
+        out_deg = np.diff(csr.indptr).astype(np.float64)
+        safe_deg = np.where(out_deg == 0, 1.0, out_deg)
+        rows = np.repeat(np.arange(n), np.diff(csr.indptr))
+        for _ in range(6):
+            active = np.flatnonzero(residual > 0)
+            sel = np.isin(rows, active)
+            dsts = csr.indices[sel]
+            seg_src = rows[sel]
+            contrib = damping * residual / safe_deg
+            new_residual = np.zeros(n)
+            np.add.at(new_residual, dsts, contrib[seg_src])
+            ref_rank += new_residual
+            residual = new_residual
+        np.testing.assert_array_equal(rank, ref_rank)
+
+    def test_cc_labels_bitwise(self, inputs):
+        _, sym = inputs
+        labels = shiloach_vishkin(_graph(sym))
+        n = sym.nrows
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(sym.indptr))
+        cols = sym.indices.astype(np.int64)
+        ref = np.arange(n, dtype=np.int64)
+        while True:
+            before = ref.copy()
+            np.minimum.at(ref, before[rows], before[cols])
+            np.minimum.at(ref, before[cols], before[rows])
+            while True:
+                pp = ref[ref]
+                if np.array_equal(pp, ref):
+                    break
+                ref[:] = pp
+            if np.array_equal(ref, before):
+                break
+        np.testing.assert_array_equal(labels, ref)
+
+    def test_afforest_matches_sv_partition(self, inputs):
+        _, sym = inputs
+        aff = afforest(_graph(sym))
+        sv = shiloach_vishkin(_graph(sym))
+        # Same partition: labels within each sv component are constant.
+        for c in np.unique(sv):
+            members = np.flatnonzero(sv == c)
+            assert len(np.unique(aff[members])) == 1
+
+
+class TestStructuralMetadataCache:
+    def test_row_ids_cached_and_correct(self):
+        csr, _ = random_digraph(n=60, m=200, seed=1)
+        want = np.repeat(np.arange(csr.nrows, dtype=np.int64),
+                         np.diff(csr.indptr))
+        got = csr.row_ids()
+        np.testing.assert_array_equal(got, want)
+        assert csr.row_ids() is got  # memoized
+        assert not got.flags.writeable
+
+    def test_row_degrees_cached(self):
+        csr, _ = random_digraph(n=60, m=200, seed=2)
+        deg = csr.row_degrees()
+        np.testing.assert_array_equal(deg, np.diff(csr.indptr))
+        assert csr.row_degrees() is deg
+
+    def test_graph_in_degrees_cached(self):
+        csr, _ = random_digraph(n=60, m=200, seed=4)
+        g = _graph(csr)
+        ind = g.in_degrees()
+        np.testing.assert_array_equal(
+            ind, np.bincount(csr.indices, minlength=csr.nrows))
+        assert g.in_degrees() is ind
