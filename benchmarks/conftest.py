@@ -17,8 +17,10 @@ import pathlib
 
 import pytest
 
+from repro.core.experiments import validate_selection
 from repro.core.systems import APPLICATIONS
 from repro.core.tables import GRAPH_ORDER
+from repro.errors import InvalidValue
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -35,6 +37,21 @@ def bench_apps():
     if raw == "all":
         return list(APPLICATIONS)
     return [a.strip() for a in raw.split(",") if a.strip()]
+
+
+def pytest_sessionstart(session):
+    """Reject bad REPRO_BENCH_GRAPHS/APPS entries before any bench runs.
+
+    A typo'd name used to surface an hour into the session as an
+    InvalidValue/KeyError deep inside one bench module; fail at startup
+    instead, listing the known names.
+    """
+    try:
+        validate_selection(graphs=bench_graphs(), apps=bench_apps(),
+                           known_graphs=GRAPH_ORDER)
+    except InvalidValue as exc:
+        raise pytest.UsageError(
+            f"bad REPRO_BENCH_GRAPHS/REPRO_BENCH_APPS setting: {exc}")
 
 
 @pytest.fixture(scope="session")

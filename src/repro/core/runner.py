@@ -6,6 +6,7 @@ Examples::
     repro-study table2 --graphs rmat22 road-USA-W --apps bfs cc
     repro-study figure2
     repro-study all --save results.json
+    repro-study all --journal run.jsonl --resume   # continue a killed run
 """
 
 from __future__ import annotations
@@ -13,9 +14,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import experiments, figures, tables
+from repro import errors, faults
+from repro.core import checkpoint, experiments, figures, tables
+from repro.core.experiments import GRAPH_ORDER
 from repro.core.systems import APPLICATIONS
-from repro.core.tables import GRAPH_ORDER
 
 
 def main(argv=None) -> int:
@@ -34,29 +36,59 @@ def main(argv=None) -> int:
     parser.add_argument("--apps", nargs="*", default=None,
                         help=f"application subset (default: {APPLICATIONS})")
     parser.add_argument("--save", default=None,
-                        help="persist cell results as JSON")
+                        help="persist cell results as JSON (atomic write)")
     parser.add_argument("--load", default=None,
                         help="preload cell results from JSON")
+    parser.add_argument("--journal", default=None,
+                        help="checkpoint each completed cell to this JSONL "
+                             "journal")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already present in --journal "
+                             "(implies journaling)")
     args = parser.parse_args(argv)
 
     graphs = args.graphs or list(GRAPH_ORDER)
     apps = args.apps or list(APPLICATIONS)
+    try:
+        experiments.validate_selection(graphs=args.graphs, apps=args.apps)
+    except errors.InvalidValue as exc:
+        print(f"repro-study: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and not args.journal:
+        print("repro-study: --resume requires --journal PATH",
+              file=sys.stderr)
+        return 2
+
+    faults.install_from_env()
     if args.load:
         n = experiments.load_results(args.load)
         print(f"(loaded {n} cached cells from {args.load})", file=sys.stderr)
+    if args.journal:
+        if args.resume:
+            n = checkpoint.resume(args.journal)
+            print(f"(resumed {n} journaled cells from {args.journal})",
+                  file=sys.stderr)
+        else:
+            checkpoint.attach(args.journal, fresh=True)
+            print(f"(journaling cells to {args.journal})", file=sys.stderr)
 
-    if args.target == "explain":
-        for g in graphs:
-            for app in apps:
-                print(_explain_cell(args.system, app, g))
+    try:
+        if args.target == "explain":
+            for g in graphs:
+                for app in apps:
+                    print(_explain_cell(args.system, app, g))
+                    print()
+        else:
+            targets = ([args.target] if args.target != "all" else
+                       ["table1", "table2", "table3", "table4", "table5",
+                        "figure2", "figure3"])
+            for target in targets:
+                print(_render(target, graphs, apps))
                 print()
-    else:
-        targets = ([args.target] if args.target != "all" else
-                   ["table1", "table2", "table3", "table4", "table5",
-                    "figure2", "figure3"])
-        for target in targets:
-            print(_render(target, graphs, apps))
-            print()
+    finally:
+        # A fatal (injected or real) abort still keeps the journal; the
+        # snapshot below only happens on a clean finish.
+        experiments.set_journal(None)
     if args.save:
         experiments.save_results(args.save)
         print(f"(saved cell results to {args.save})", file=sys.stderr)
@@ -92,9 +124,11 @@ def _render(target: str, graphs, apps) -> str:
     if target == "table5":
         return str(tables.table5(graphs))
     if target == "figure2":
+        # Figure 2 covers the four largest graphs; an all-small subset
+        # falls back to the default panel rather than an empty figure.
         return str(figures.figure2(graphs=[g for g in graphs
                                            if g in GRAPH_ORDER[-4:]]
-                                   or None))
+                                   or GRAPH_ORDER[-4:]))
     if target == "figure3":
         return str(figures.figure3(graphs=graphs))
     raise ValueError(target)

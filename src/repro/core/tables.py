@@ -13,17 +13,14 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.experiments import OK, run_cell
+from repro.core.experiments import GRAPH_ORDER, OK, run_cell
 from repro.core.systems import APPLICATIONS, SYSTEMS
 from repro.core.variants import run_problem_variants
 from repro.graphs.datasets import DATASETS, get_dataset
 from repro.graphs.properties import compute_properties
 
-#: Table column order — the paper's Table I graph order.
-GRAPH_ORDER = (
-    "road-USA-W", "road-USA", "rmat22", "indochina04", "eukarya",
-    "rmat26", "twitter40", "friendster", "uk07",
-)
+__all__ = ["GRAPH_ORDER", "TableText", "table1", "table2", "table3",
+           "table4", "table4_detail", "table5"]
 
 
 @dataclass
@@ -105,7 +102,7 @@ def table2(graphs: Iterable[str] = GRAPH_ORDER,
     return TableText(
         title="Table II: 56-thread execution time (simulated seconds, "
               "paper-scale; * = fastest; TO = 2h timeout; OOM = out of "
-              "memory)",
+              "memory; ERR = harness error, see cell.error)",
         text="\n".join(rows),
         data=cells,
     )

@@ -47,6 +47,8 @@ class VariantResult:
     seconds: Optional[float]
     counters: Dict[str, float] = field(default_factory=dict)
     answer: Optional[object] = None
+    #: For ERR results: exception type, message and traceback summary.
+    error: Optional[Dict[str, str]] = None
 
 
 _VMEMO: Dict[tuple, VariantResult] = {}
@@ -59,17 +61,27 @@ def run_variant(problem: str, variant: str, graph: str,
     key = (problem, variant, graph)
     if use_cache and key in _VMEMO:
         return _VMEMO[key]
+    if variant not in VARIANTS.get(problem, ()):
+        # Unknown names are caller errors, not cell failures.
+        raise errors.InvalidValue(
+            f"unknown variant {variant!r} for problem {problem!r}")
     dataset = get_dataset(graph)
     system_code = "LS" if variant.startswith("ls") else "GB"
     instance = SystemInstance(system_code, dataset, timeout=timeout)
     status = "ok"
     answer = None
+    error = None
     try:
         answer = _dispatch(problem, variant, instance)
     except errors.TimeoutError:
         status = "TO"
     except errors.OutOfMemoryError:
         status = "OOM"
+    except Exception as exc:  # injected faults, harness bugs -> ERR
+        from repro.core.experiments import ERR, _error_info
+
+        status = ERR
+        error = _error_info(exc)
     machine = instance.machine
     result = VariantResult(
         problem=problem,
@@ -79,6 +91,7 @@ def run_variant(problem: str, variant: str, graph: str,
         seconds=machine.simulated_seconds() if status == "ok" else None,
         counters=machine.counters.as_dict(),
         answer=answer,
+        error=error,
     )
     if use_cache:
         _VMEMO[key] = result

@@ -36,11 +36,33 @@ class TimeoutError(ReproError):
     """The simulated execution time exceeded the experiment's timeout.
 
     Corresponds to the TO entries in Table II of the paper (2 h wall clock).
+
+    .. warning::
+       This class deliberately shares its name with the ``TimeoutError``
+       builtin.  Always raise and catch it *qualified* —
+       ``errors.TimeoutError`` / ``errors.SimulatedTimeoutError`` — never via
+       ``from repro.errors import TimeoutError``: a bare ``except
+       TimeoutError`` in a module without that import silently catches the
+       OS-level builtin instead (tests/test_error_hygiene.py enforces this).
     """
 
     def __init__(self, message, elapsed_seconds=None):
         super().__init__(message)
         self.elapsed_seconds = elapsed_seconds
+
+
+#: Unambiguous alias for :class:`TimeoutError` (cannot shadow the builtin).
+SimulatedTimeoutError = TimeoutError
+
+
+class WallClockExceeded(ReproError):
+    """A cell's real (wall-clock) runtime exceeded the harness watchdog.
+
+    Distinct from :class:`TimeoutError`: that models the paper's 2 h
+    *simulated* budget and yields a ``TO`` cell, while this guards the
+    reproduction harness itself against runaway cells and yields an ``ERR``
+    cell (``ERR(wallclock)``).
+    """
 
 
 class ConvergenceError(ReproError):

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import faults
 from repro.errors import InvalidValue, OutOfMemoryError
 
 
@@ -64,6 +65,7 @@ class TrackingAllocator:
         """
         if nbytes < 0:
             raise InvalidValue("cannot allocate a negative number of bytes")
+        faults.trip("alloc", label=label)
         charged = int(nbytes * self.slack_factor)
         self.live_bytes += charged
         self.total_allocations += 1

@@ -9,11 +9,12 @@ process run in the paper's methodology.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import TimeoutError
+from repro import errors, faults
 from repro.perf.allocator import TrackingAllocator
 from repro.perf.counters import PerfCounters
 from repro.perf.costmodel import (
@@ -58,6 +59,9 @@ class Machine:
         )
         self._loops: list = []
         self._elapsed_ns_default = 0.0
+        #: Real-time watchdog: ``time.monotonic()`` deadline after which
+        #: loop charging raises WallClockExceeded (None = no watchdog).
+        self.wall_deadline: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Charging
@@ -86,6 +90,7 @@ class Machine:
         its *fraction* of the loop shrinks proportionally and the block
         imbalance of a static schedule averages out.
         """
+        faults.trip("kernel")
         hits: dict = {}
         for stream in streams:
             for level, count in self.hierarchy.classify(stream).items():
@@ -156,12 +161,22 @@ class Machine:
                                              self.time_scale)
 
     def check_timeout(self) -> None:
-        """Raise :class:`~repro.errors.TimeoutError` past the time budget."""
+        """Raise past either time budget: simulated (TO) or wall clock (ERR).
+
+        The simulated budget models the paper's 2 h limit and raises
+        ``errors.TimeoutError``; the wall-clock deadline guards the harness
+        itself and raises ``errors.WallClockExceeded``.
+        """
+        if (self.wall_deadline is not None
+                and time.monotonic() > self.wall_deadline):
+            raise errors.WallClockExceeded(
+                "cell exceeded its real-time watchdog budget "
+                "(wall_deadline passed)")
         if self.timeout_seconds is None:
             return
         elapsed = self.simulated_seconds()
         if elapsed > self.timeout_seconds:
-            raise TimeoutError(
+            raise errors.TimeoutError(
                 f"simulated time {elapsed:.1f}s exceeds timeout "
                 f"{self.timeout_seconds:.0f}s",
                 elapsed_seconds=elapsed,

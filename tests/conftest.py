@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+from repro import faults as _faults
+from repro.core import experiments as _experiments
+
 from repro.galois.graph import Graph
 from repro.galoisblas import GaloisBLASBackend
 from repro.graphs.transform import symmetrize
@@ -25,6 +28,26 @@ def random_digraph(n=150, m=600, seed=3, weight_high=50):
     csr = build_csr(n, n, src[keep], dst[keep], w, dedup="min")
     sym, _ = symmetrize(csr, csr.values)
     return csr, sym
+
+
+@pytest.fixture
+def isolated_grid():
+    """An empty experiment memo, no journal, no faults — restored on exit.
+
+    Fault/checkpoint tests produce deliberately broken cells; this keeps
+    them out of the session-wide memo other tests share.
+    """
+    saved = _experiments.all_results()
+    saved_journal = _experiments.get_journal()
+    _experiments.clear_cache()
+    _experiments.set_journal(None)
+    try:
+        yield
+    finally:
+        _faults.clear()
+        _experiments.set_journal(saved_journal)
+        _experiments.clear_cache()
+        _experiments.seed_results(saved.values())
 
 
 @pytest.fixture

@@ -159,6 +159,111 @@ class TestRunner:
         assert runner_main(["table2", "--graphs", "road-USA-W",
                             "--apps", "bfs", "--load", path]) == 0
 
+    def test_cli_save_load_roundtrip_preserves_cells(self, tmp_path,
+                                                     capsys,
+                                                     isolated_grid):
+        import dataclasses
+
+        from repro.core import experiments
+
+        def persisted(results):
+            # wall_seconds is measured, not modeled; it is not saved.
+            return {k: dataclasses.replace(r, wall_seconds=0.0)
+                    for k, r in results.items()}
+
+        path = str(tmp_path / "cells.json")
+        assert runner_main(["table2", "--graphs", "rmat22",
+                            "--apps", "bfs", "--save", path]) == 0
+        saved = experiments.all_results()
+        experiments.clear_cache()
+        assert runner_main(["table2", "--graphs", "rmat22",
+                            "--apps", "bfs", "--load", path]) == 0
+        err = capsys.readouterr().err
+        assert "loaded 3 cached cells" in err
+        assert persisted(experiments.all_results()) == persisted(saved)
+
+    def test_cli_explain(self, capsys):
+        assert runner_main(["explain", "--system", "LS",
+                            "--graphs", "rmat22", "--apps", "bfs"]) == 0
+        out = capsys.readouterr().out
+        assert "LS bfs rmat22:" in out
+
+    def test_cli_rejects_unknown_names(self, capsys):
+        assert runner_main(["table2", "--graphs", "no-such-graph"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-graph" in err and "known graphs" in err
+        assert runner_main(["table2", "--apps", "sorting"]) == 2
+        err = capsys.readouterr().err
+        assert "sorting" in err and "known applications" in err
+
+    def test_cli_resume_requires_journal(self, capsys):
+        assert runner_main(["table2", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_cli_resume_skips_journaled_cells(self, tmp_path, capsys,
+                                              isolated_grid):
+        from repro.core.checkpoint import CellJournal
+        from repro.core.experiments import CellResult
+
+        journal = tmp_path / "j.jsonl"
+        for system in ("SS", "GB", "LS"):
+            CellJournal(journal).append(CellResult(
+                system=system, app="bfs", graph="rmat22", status="ok",
+                seconds=424242.0, mrss_gb=1.0, counters={}, answer=0))
+        assert runner_main(["table2", "--graphs", "rmat22", "--apps",
+                            "bfs", "--journal", str(journal),
+                            "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "resumed 3 journaled cells" in captured.err
+        assert "424242.00" in captured.out  # recalled, not re-run
+
+    def test_cli_journal_records_cells(self, tmp_path, capsys,
+                                       isolated_grid):
+        from repro.core.checkpoint import CellJournal
+
+        journal = tmp_path / "j.jsonl"
+        assert runner_main(["table2", "--graphs", "rmat22", "--apps",
+                            "bfs", "--journal", str(journal)]) == 0
+        assert len(CellJournal(journal).load()) == 3
+
+
+class TestSelectionValidation:
+    def test_unknown_names_listed_with_known_ones(self):
+        from repro.core.experiments import validate_selection
+        from repro.errors import InvalidValue
+
+        validate_selection(graphs=["rmat22"], apps=["bfs"])  # no raise
+        with pytest.raises(InvalidValue, match="known graphs"):
+            validate_selection(graphs=["rmat22", "typo-graph"])
+        with pytest.raises(InvalidValue, match="known applications"):
+            validate_selection(apps=["bfs", "typo-app"])
+
+    def _bench_conftest(self):
+        import importlib.util
+        import pathlib
+
+        path = (pathlib.Path(__file__).resolve().parent.parent
+                / "benchmarks" / "conftest.py")
+        spec = importlib.util.spec_from_file_location("bench_conftest", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_bench_session_rejects_bad_graph_env(self, monkeypatch):
+        conftest = self._bench_conftest()
+        monkeypatch.setenv("REPRO_BENCH_GRAPHS", "rmat22,typo-graph")
+        with pytest.raises(pytest.UsageError, match="typo-graph"):
+            conftest.pytest_sessionstart(None)
+
+    def test_bench_session_rejects_bad_app_env(self, monkeypatch):
+        conftest = self._bench_conftest()
+        monkeypatch.setenv("REPRO_BENCH_APPS", "bfs,sorting")
+        with pytest.raises(pytest.UsageError, match="sorting"):
+            conftest.pytest_sessionstart(None)
+
+    def test_bench_session_accepts_defaults(self):
+        self._bench_conftest().pytest_sessionstart(None)
+
 
 class TestTable4Detail:
     def test_per_graph_ratios(self):
