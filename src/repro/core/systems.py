@@ -5,6 +5,13 @@ methodology: it owns a fresh :class:`~repro.perf.Machine` configured for the
 dataset (byte/time scaling, DRAM capacity, the 2 h timeout) and the loaded
 graph objects, and dispatches the six applications with the paper's §IV
 defaults.
+
+The three stacks are *registered* with :mod:`repro.engine.registry` below —
+each with its API family, capability flags and allocator/stack factories —
+and ``SYSTEMS``/``APPLICATIONS`` are derived from those registrations.
+``make_system``/``SystemInstance`` resolve codes through the registry, so
+an unknown code raises with a did-you-mean suggestion list, and adding a
+fourth system is one more ``register_system`` call (see DESIGN.md).
 """
 
 from __future__ import annotations
@@ -14,7 +21,16 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import InvalidValue
+from repro.engine.registry import (
+    Capabilities,
+    SystemSpec,
+    application_names,
+    get_application,
+    get_system,
+    register_application,
+    register_system,
+    system_codes,
+)
 from repro.galois.graph import Graph
 from repro.galoisblas import GALOIS_PREALLOC_BYTES, GaloisBLASBackend
 from repro.graphs.datasets import Dataset, get_dataset
@@ -26,13 +42,84 @@ from repro.suitesparse import SS_ALLOC_SLACK, SuiteSparseBackend
 import repro.graphblas as gb
 from repro import lagraph, lonestar
 
-#: Paper labels for the three stacks (§V).
-SYSTEMS = ("SS", "GB", "LS")
-
 #: The 2-hour run timeout (§IV), in paper-scale seconds.
 TIMEOUT_SECONDS = 2 * 3600.0
 
-APPLICATIONS = ("bfs", "cc", "ktruss", "pr", "sssp", "tc")
+
+# ----------------------------------------------------------------------
+# Registrations (the paper's three stacks, §III)
+# ----------------------------------------------------------------------
+
+def _suitesparse_allocator(scale: float) -> TrackingAllocator:
+    return TrackingAllocator(
+        capacity_bytes=DRAM_CAPACITY_BYTES / scale,
+        slack_factor=SS_ALLOC_SLACK,
+        name="suitesparse",
+    )
+
+
+def _galois_allocator(scale: float) -> TrackingAllocator:
+    return TrackingAllocator(
+        capacity_bytes=DRAM_CAPACITY_BYTES / scale,
+        prealloc_bytes=int(GALOIS_PREALLOC_BYTES / scale),
+        name="galois",
+    )
+
+
+def _suitesparse_stack(machine: Machine):
+    backend = SuiteSparseBackend(machine)
+    return backend, backend.runtime
+
+
+def _galoisblas_stack(machine: Machine):
+    backend = GaloisBLASBackend(machine)
+    return backend, backend.runtime
+
+
+def _lonestar_stack(machine: Machine):
+    return None, GaloisRuntime(machine)
+
+
+register_system(SystemSpec(
+    code="SS",
+    description="LAGraph on SuiteSparse:GraphBLAS (OpenMP)",
+    api="lagraph",
+    capabilities=Capabilities(masks=True),
+    make_allocator=_suitesparse_allocator,
+    make_stack=_suitesparse_stack,
+))
+register_system(SystemSpec(
+    code="GB",
+    description="LAGraph on GaloisBLAS (Galois runtime)",
+    api="lagraph",
+    capabilities=Capabilities(masks=True, diag_fast_path=True,
+                              huge_pages=True, work_stealing=True),
+    make_allocator=_galois_allocator,
+    make_stack=_galoisblas_stack,
+))
+register_system(SystemSpec(
+    code="LS",
+    description="Lonestar on Galois",
+    api="lonestar",
+    capabilities=Capabilities(fusion=True, async_scheduling=True,
+                              priority_scheduling=True, huge_pages=True,
+                              work_stealing=True),
+    make_allocator=_galois_allocator,
+    make_stack=_lonestar_stack,
+))
+
+register_application("bfs", "breadth-first search (Algorithm 1/2)")
+register_application("cc", "connected components")
+register_application("ktruss", "k-truss decomposition")
+register_application("pr", "PageRank")
+register_application("sssp", "single-source shortest paths")
+register_application("tc", "triangle counting")
+
+#: Paper labels for the three stacks (§V), derived from the registry.
+SYSTEMS = system_codes()
+
+#: The six applications (§IV), derived from the registry.
+APPLICATIONS = application_names()
 
 
 @dataclass
@@ -50,15 +137,13 @@ class System:
 
 
 def make_system(code: str) -> System:
-    """Look up one of the paper's three systems by its SS/GB/LS code."""
-    descriptions = {
-        "SS": "LAGraph on SuiteSparse:GraphBLAS (OpenMP)",
-        "GB": "LAGraph on GaloisBLAS (Galois runtime)",
-        "LS": "Lonestar on Galois",
-    }
-    if code not in descriptions:
-        raise InvalidValue(f"unknown system {code!r}; known: {SYSTEMS}")
-    return System(code, descriptions[code])
+    """Look up a registered system by its SS/GB/LS code.
+
+    Unknown codes raise :class:`repro.errors.InvalidValue` with the known
+    codes and close-match suggestions.
+    """
+    spec = get_system(code)
+    return System(spec.code, spec.description)
 
 
 class SystemInstance:
@@ -66,40 +151,22 @@ class SystemInstance:
 
     def __init__(self, code: str, dataset: Dataset,
                  timeout: Optional[float] = TIMEOUT_SECONDS):
-        if code not in SYSTEMS:
-            raise InvalidValue(f"unknown system {code!r}")
-        self.code = code
+        spec = get_system(code)
+        self.spec = spec
+        self.code = spec.code
+        self.api = spec.api
+        self.capabilities = spec.capabilities
         self.dataset = dataset
         scale = dataset.scale
-        if code == "SS":
-            allocator = TrackingAllocator(
-                capacity_bytes=DRAM_CAPACITY_BYTES / scale,
-                slack_factor=SS_ALLOC_SLACK,
-                name="suitesparse",
-            )
-        else:
-            allocator = TrackingAllocator(
-                capacity_bytes=DRAM_CAPACITY_BYTES / scale,
-                prealloc_bytes=int(GALOIS_PREALLOC_BYTES / scale),
-                name="galois",
-            )
         # timeout compares paper-scale simulated seconds (time_scale applies
         # inside Machine.simulated_seconds, so the raw value is passed).
         self.machine = Machine(
             byte_scale=scale,
             time_scale=scale,
             timeout_seconds=timeout,
-            allocator=allocator,
+            allocator=spec.make_allocator(scale),
         )
-        if code == "SS":
-            self.backend = SuiteSparseBackend(self.machine)
-            self.runtime = self.backend.runtime
-        elif code == "GB":
-            self.backend = GaloisBLASBackend(self.machine)
-            self.runtime = self.backend.runtime
-        else:
-            self.backend = None
-            self.runtime = GaloisRuntime(self.machine)
+        self.backend, self.runtime = spec.make_stack(self.machine)
         self._loaded = {}
 
     # ------------------------------------------------------------------
@@ -113,7 +180,7 @@ class SystemInstance:
         if "directed" not in self._loaded:
             csr, _weights = self.dataset.build()
             pattern = _pattern_of(csr)
-            if self.code == "LS":
+            if self.api == "lonestar":
                 self._loaded["directed"] = Graph(self.runtime, pattern, None,
                                                  name=self.dataset.name)
             else:
@@ -125,7 +192,7 @@ class SystemInstance:
         if "weighted" not in self._loaded:
             csr, weights = self.dataset.build()
             dtype = np.int64
-            if self.code == "LS":
+            if self.api == "lonestar":
                 self._loaded["weighted"] = Graph(
                     self.runtime, csr, weights.astype(dtype),
                     name=f"{self.dataset.name}_w")
@@ -143,7 +210,7 @@ class SystemInstance:
         if "symmetric" not in self._loaded:
             sym, _ = self.dataset.build_symmetric()
             pattern = sym if sym.values is None else _pattern_of(sym)
-            if self.code == "LS":
+            if self.api == "lonestar":
                 self._loaded["symmetric"] = Graph(self.runtime, pattern, None,
                                                   name=f"{self.dataset.name}_sym")
             else:
@@ -156,15 +223,14 @@ class SystemInstance:
     # ------------------------------------------------------------------
     def run(self, app: str):
         """Run one application; returns an app-specific summary value."""
-        if app not in APPLICATIONS:
-            raise InvalidValue(f"unknown application {app!r}")
+        get_application(app)
         return getattr(self, f"_run_{app}")()
 
     def _run_bfs(self):
         source = self.dataset.source_vertex()
         obj = self.load_directed()
         self.machine.reset_measurement()
-        if self.code == "LS":
+        if self.api == "lonestar":
             dist = lonestar.bfs(obj, source)
             return _checksum(dist)
         dist = lagraph.bfs(self.backend, obj, source)
@@ -173,7 +239,7 @@ class SystemInstance:
     def _run_cc(self):
         obj = self.load_symmetric()
         self.machine.reset_measurement()
-        if self.code == "LS":
+        if self.api == "lonestar":
             labels = lonestar.afforest(obj)
         else:
             labels = lagraph.fastsv(self.backend, obj).dense_values()
@@ -183,7 +249,7 @@ class SystemInstance:
         k = self.dataset.ktruss_k
         obj = self.load_symmetric()
         self.machine.reset_measurement()
-        if self.code == "LS":
+        if self.api == "lonestar":
             alive, _rounds = lonestar.ktruss(obj, k)
             return int(alive.sum())
         S, _rounds = lagraph.ktruss(self.backend, obj, k)
@@ -192,9 +258,9 @@ class SystemInstance:
     def _run_pr(self):
         obj = self.load_directed()
         self.machine.reset_measurement()
-        if self.code == "LS":
+        if self.api == "lonestar":
             ranks = lonestar.pagerank(obj, iters=10, layout="aos")
-        elif self.code == "GB":
+        elif self.capabilities.diag_fast_path:
             # GaloisBLAS's best variant: the topology-driven pr rides the
             # diagonal fast path (Table II's gb).
             ranks = lagraph.pagerank_gb(self.backend, obj,
@@ -210,7 +276,7 @@ class SystemInstance:
         delta = self.dataset.sssp_delta
         obj = self.load_weighted()
         self.machine.reset_measurement()
-        if self.code == "LS":
+        if self.api == "lonestar":
             dist = lonestar.delta_stepping(obj, source, delta, tiled=True)
             return _checksum(_finite(dist))
         dist = lagraph.delta_stepping(self.backend, obj, source, delta)
@@ -219,7 +285,7 @@ class SystemInstance:
     def _run_tc(self):
         obj = self.load_symmetric()
         self.machine.reset_measurement()
-        if self.code == "LS":
+        if self.api == "lonestar":
             return int(lonestar.triangle_count(obj))
         return int(lagraph.triangle_count(self.backend, obj, "gb"))
 

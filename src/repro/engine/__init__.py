@@ -1,0 +1,54 @@
+"""The unified execution engine: op events, contexts, and the registry.
+
+Three pieces, one protocol:
+
+* :mod:`repro.engine.events` — the typed, validated :class:`OpEvent` every
+  kernel call is described by (replacing stringly-typed ``charge_op``
+  kwargs and the Galois-side ``LoopCharge``);
+* :mod:`repro.engine.context` — the :class:`ExecutionContext` owned by each
+  machine, recording the op-event stream and attributing charged loops to
+  the emitting operation via spans;
+* :mod:`repro.engine.registry` — the pluggable system/application registry
+  with :class:`Capabilities` flags, through which :mod:`repro.core.systems`
+  resolves SS/GB/LS instead of hard-coded if/else.
+
+:mod:`repro.engine.analysis` (imported lazily — it depends on the core
+harness) derives the paper's differential-analysis attribution from the
+recorded stream and cross-checks it against the modeled counters.
+"""
+
+from repro.engine.context import ExecutionContext
+from repro.engine.events import (
+    GALOIS_KINDS,
+    GRAPHBLAS_KINDS,
+    OP_KINDS,
+    RUNTIME_KINDS,
+    OpEvent,
+)
+from repro.engine.registry import (
+    Capabilities,
+    SystemSpec,
+    application_names,
+    get_application,
+    get_system,
+    register_application,
+    register_system,
+    system_codes,
+)
+
+__all__ = [
+    "Capabilities",
+    "ExecutionContext",
+    "GALOIS_KINDS",
+    "GRAPHBLAS_KINDS",
+    "OP_KINDS",
+    "OpEvent",
+    "RUNTIME_KINDS",
+    "SystemSpec",
+    "application_names",
+    "get_application",
+    "get_system",
+    "register_application",
+    "register_system",
+    "system_codes",
+]

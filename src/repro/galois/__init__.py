@@ -9,10 +9,12 @@ Provides the abstract data types Lonestar programs are written against:
   active-vertex list), :class:`~repro.galois.worklist.DenseWorklist`
   (bit-vector), and :class:`~repro.galois.worklist.OBIM` (soft-priority
   buckets, the scheduler under asynchronous delta-stepping);
-* loop constructs — :func:`~repro.galois.loops.do_all` (bulk parallel loop
-  over vertices/edges, one barrier) and
-  :func:`~repro.galois.loops.for_each` (asynchronous worklist execution,
-  barrier-free between pushes), with edge tiling for load balance.
+* loop constructs — :meth:`~repro.runtime.galois_rt.GaloisRuntime.do_all`
+  (bulk parallel loop over vertices/edges, one barrier) and
+  :meth:`~repro.runtime.galois_rt.GaloisRuntime.for_each` (asynchronous
+  worklist execution, barrier-free between pushes), with edge tiling for
+  load balance; operators describe each loop with an
+  :class:`~repro.engine.events.OpEvent`.
 
 The crucial API property the paper leans on: an operator here can fuse
 arbitrary composite updates in one loop, perform fine-grained operations on
@@ -21,15 +23,14 @@ three things a matrix-based API cannot express.
 """
 
 from repro.galois.graph import Graph
+from repro.galois.loops import DEFAULT_TILE, edge_scan_stream
 from repro.galois.worklist import DenseWorklist, OBIM, SparseWorklist
-from repro.galois.loops import LoopCharge, do_all, for_each_charge
 
 __all__ = [
+    "DEFAULT_TILE",
     "DenseWorklist",
     "Graph",
-    "LoopCharge",
     "OBIM",
     "SparseWorklist",
-    "do_all",
-    "for_each_charge",
+    "edge_scan_stream",
 ]

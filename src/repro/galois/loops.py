@@ -1,49 +1,24 @@
-"""Galois loop constructs and their cost accounting.
+"""Galois loop helpers shared by the Lonestar operators.
 
-Lonestar operators execute as vectorized numpy kernels for speed; these
-helpers charge the machine model with what the equivalent ``galois::do_all``
-or ``galois::for_each`` loop costs on the 56-core machine:
+The loop constructs themselves live on the runtime:
+:meth:`repro.runtime.galois_rt.GaloisRuntime.do_all` (bulk-parallel loop
+with work stealing and a closing barrier) and
+:meth:`repro.runtime.galois_rt.GaloisRuntime.for_each` (one asynchronous
+worklist slice, barrier-free) — both emitters of the unified
+:class:`~repro.engine.events.OpEvent` protocol.  This module keeps the
+pieces that describe *what a loop touches* rather than how it is charged.
 
-* :func:`do_all` — one bulk-parallel loop with work stealing and a closing
-  barrier (Algorithm 1's round body is one ``do_all`` — the *fused* loop the
-  matrix API cannot express);
-* :func:`for_each_charge` — a slice of an asynchronous worklist loop:
-  charged barrier-free, because ``for_each`` threads keep pulling from the
-  worklist without synchronizing between pushes.
-
-Edge tiling (§V-B, sssp): when ``tile_edges`` is set, a high-degree vertex's
-edges are split into tiles of that size, capping the largest indivisible
-work item the load-balance model sees.
+Edge tiling (§V-B, sssp): when ``tile_edges`` is passed to an emitter, a
+high-degree vertex's edges are split into tiles of that size, capping the
+largest indivisible work item the load-balance model sees.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
-
-import numpy as np
-
-from repro.perf.costmodel import Schedule
 from repro.runtime.base import Runtime
 
 #: Galois's default edge-tile granularity.
 DEFAULT_TILE = 512
-
-#: Fixed dispatch cost of one asynchronous worklist slice: threads keep
-#: pulling work without a barrier, so this is far below a loop launch.
-FOR_EACH_SLICE_NS = 15_000.0
-
-
-@dataclass
-class LoopCharge:
-    """Declared cost of one operator loop (what the operator touches)."""
-
-    n_items: int
-    instr_per_item: float = 2.0
-    streams: Sequence = ()
-    weights: Optional[np.ndarray] = None
-    tile_edges: Optional[int] = None
-    extra_instr: int = 0
 
 
 def edge_scan_stream(runtime: Runtime, graph, scanned: int, n_sources: int):
@@ -55,42 +30,3 @@ def edge_scan_stream(runtime: Runtime, graph, scanned: int, n_sources: int):
     if n_sources * 2 >= graph.nnodes:
         return runtime.seq(graph.csr.nbytes, scanned)
     return runtime.strided(graph.csr.nbytes, scanned)
-
-
-def do_all(runtime: Runtime, charge: LoopCharge) -> None:
-    """Charge one ``galois::do_all`` loop (work stealing, one barrier)."""
-    max_item = None
-    if charge.weights is not None and len(charge.weights) and charge.tile_edges:
-        max_item = float(min(np.max(charge.weights), charge.tile_edges))
-    runtime.parallel(
-        n_items=charge.n_items,
-        instr_per_item=charge.instr_per_item,
-        streams=charge.streams,
-        weights=charge.weights,
-        max_item_weight=max_item,
-        schedule=Schedule.STEAL,
-        extra_instr=charge.extra_instr,
-    )
-
-
-def for_each_charge(runtime: Runtime, charge: LoopCharge) -> None:
-    """Charge one asynchronous slice of a ``galois::for_each`` loop.
-
-    No barrier: threads drain the worklist continuously.  The scheduling
-    cost of the concurrent worklist is folded into ``instr_per_item``.
-    """
-    max_item = None
-    if charge.weights is not None and len(charge.weights) and charge.tile_edges:
-        max_item = float(min(np.max(charge.weights), charge.tile_edges))
-    runtime.machine.charge_loop(
-        schedule=Schedule.STEAL,
-        instructions=int(charge.n_items * charge.instr_per_item)
-        + charge.extra_instr,
-        streams=charge.streams,
-        n_items=charge.n_items,
-        weights=charge.weights,
-        max_item_weight=max_item,
-        huge_pages=runtime.huge_pages,
-        barrier=False,
-        fixed_ns=FOR_EACH_SLICE_NS,
-    )

@@ -45,22 +45,34 @@ class FusedGaloisBLASBackend(GaloisBLASBackend):
         self._chain_open = False
         self.fused_calls = 0
 
-    def charge_op(self, kind: str, out, **info) -> None:
-        """Charge an op, fusing it into the previous pass when possible."""
-        if kind in FUSABLE and self._chain_open:
+    def emit(self, event, out, *, mat=None, mat2=None, weights=None):
+        """Charge an op event, fusing it into the previous pass if possible.
+
+        A fused continuation materializes nothing: the values flow in
+        registers, so the recorded event carries ``bytes_materialized=0``.
+        """
+        if event.kind in FUSABLE and self._chain_open:
             # Fused continuation: values flow in registers; only the
             # marginal per-element instructions are charged, with no loop
             # launch, call overhead or write-back pass.
             self.fused_calls += 1
-            n = max(info.get("n_processed", 1), 1)
-            self.machine.charge_loop(
-                schedule=Schedule.STEAL,
-                instructions=int(n * INSTR_PER_ELEM),
-                n_items=n,
-                huge_pages=True,
-                barrier=False,
-                fixed_ns=0.0,
-            )
-            return
-        super().charge_op(kind, out, **info)
-        self._chain_open = kind in FUSABLE or kind in ("mxv", "vxm")
+            n = max(event.items, 1)
+            ctx = self.machine.context
+            ctx.open_span()
+            try:
+                self.machine.charge_loop(
+                    schedule=Schedule.STEAL,
+                    instructions=int(n * INSTR_PER_ELEM),
+                    n_items=n,
+                    huge_pages=True,
+                    barrier=False,
+                    fixed_ns=0.0,
+                )
+            finally:
+                recorded = ctx.close_span(event)
+            return recorded
+        recorded = super().emit(event, out, mat=mat, mat2=mat2,
+                                weights=weights)
+        self._chain_open = (event.kind in FUSABLE
+                            or event.kind in ("mxv", "vxm"))
+        return recorded

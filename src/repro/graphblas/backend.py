@@ -1,9 +1,12 @@
 """Backend interface: where GraphBLAS operations meet the machine model.
 
 A backend owns a runtime (OpenMP-style or Galois-style) and converts the
-structured *cost events* emitted by :mod:`repro.graphblas.operations` into
-charged parallel loops.  The two concrete backends differ exactly where the
-paper says the implementations differ (§III):
+typed :class:`~repro.engine.events.OpEvent` stream emitted by
+:mod:`repro.graphblas.operations` into charged parallel loops via
+:meth:`BaseBackend.emit`; each event's span is closed against the machine's
+:class:`~repro.engine.context.ExecutionContext`, so the trace records what
+ran and how many loops it cost.  The two concrete backends differ exactly
+where the paper says the implementations differ (§III):
 
 * :class:`repro.suitesparse.SuiteSparseBackend` — vectors are 1-wide sparse
   matrices, every operation materializes a fresh output object, loops run
@@ -15,10 +18,13 @@ paper says the implementations differ (§III):
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 import numpy as np
 
+from repro.engine.events import GRAPHBLAS_KINDS, OpEvent
+from repro.errors import InvalidValue
 from repro.graphblas.vector import (
     REP_DENSE_ARRAY,
     REP_ORDERED_MAP,
@@ -33,6 +39,9 @@ from repro.sparse.csr import CSRMatrix
 INSTR_PER_FLOP = 3.0
 #: Instruction proxy per element in an element-wise pass.
 INSTR_PER_ELEM = 2.0
+
+#: Kinds whose result is a scalar — nothing materialized in the trace.
+_SCALAR_RESULT_KINDS = frozenset({"reduce_vector", "reduce_matrix"})
 
 
 class BaseBackend:
@@ -83,39 +92,81 @@ class BaseBackend:
         nvals = mat.csr.nvals
         nbytes = mat.csr.nbytes
         rt = self.runtime
-        rt.parallel(
-            n_items=nvals,
-            instr_per_item=4.0,
-            streams=[rt.seq(nbytes, nvals), rt.rand(nbytes, nvals)],
-        )
+        ctx = self.machine.context
+        ctx.open_span()
+        try:
+            rt.parallel(
+                n_items=nvals,
+                instr_per_item=4.0,
+                streams=[rt.seq(nbytes, nvals), rt.rand(nbytes, nvals)],
+            )
+        finally:
+            ctx.close_span(OpEvent(
+                kind="transpose_build", label=mat.label, items=nvals,
+                bytes_materialized=nbytes))
         return self.machine.allocator.allocate(
             nbytes, f"Matrix:{mat.label}:transpose")
 
     # ------------------------------------------------------------------
-    # Cost events
+    # The op-event protocol
     # ------------------------------------------------------------------
-    def charge_op(self, kind: str, out, **info) -> None:
-        """Convert one operation's cost event into charged loops."""
-        handler = getattr(self, f"_charge_{kind}", None)
-        if handler is not None:
-            handler(out, **info)
-        else:
-            self._charge_elementwise(out, **info)
-        # Per-call overhead (dispatch, descriptor handling) is a fixed cost
-        # of the real machine, independent of the dataset's scale.
-        self.machine.charge_loop(
-            schedule=Schedule.SERIAL, barrier=False,
-            fixed_ns=self.call_overhead_ns)
+    def emit(self, event: OpEvent, out, *,
+             mat=None, mat2=None, weights=None) -> OpEvent:
+        """Charge one typed op event's loops and record it in the trace.
+
+        Dispatches on ``event.kind`` to the matching cost handler, charges
+        the fixed per-call overhead, and closes the event's span so the
+        context stamps it with the loops attributed to this operation.
+        Returns the recorded (stamped) event.
+        """
+        if event.kind not in GRAPHBLAS_KINDS:
+            raise InvalidValue(
+                f"GraphBLAS backends emit only GraphBLAS kinds, got "
+                f"{event.kind!r}")
+        ctx = self.machine.context
+        ctx.open_span()
+        try:
+            kind = event.kind
+            if kind in ("mxv", "vxm"):
+                self._charge_mxv(event, out, mat, weights)
+            elif kind == "mxm":
+                self._charge_mxm(event, out, mat, mat2)
+            elif kind == "diag_mxm":
+                self._charge_diag_mxm(event, out, mat2)
+            elif kind == "ewise_matrix":
+                self._charge_ewise_matrix(event, out)
+            elif kind == "select_matrix":
+                self._charge_select_matrix(event, out)
+            elif kind == "reduce_matrix":
+                self._charge_reduce_matrix(event, out)
+            else:
+                self._charge_elementwise(event, out)
+            # Per-call overhead (dispatch, descriptor handling) is a fixed
+            # cost of the real machine, independent of the dataset's scale.
+            self.machine.charge_loop(
+                schedule=Schedule.SERIAL, barrier=False,
+                fixed_ns=self.call_overhead_ns)
+        finally:
+            recorded = ctx.close_span(replace(
+                event,
+                bytes_materialized=self._materialized_bytes(event, out)))
+        return recorded
+
+    def _materialized_bytes(self, event: OpEvent, out) -> int:
+        """Output bytes this operation materialized (trace attribution)."""
+        if event.kind in _SCALAR_RESULT_KINDS:
+            return 0
+        return self._vector_bytes(out)
 
     # --- matrix-vector products ---------------------------------------
-    def _charge_mxv(self, out, mat, flops, in_nvals, out_nvals, mode, masked,
-                    weights=None, mask_bytes=0):
+    def _charge_mxv(self, event: OpEvent, out, mat, weights):
         rt = self.runtime
+        flops = event.flops
         mat_bytes = mat.csr.nbytes
         vec_bytes = self._vector_bytes(out)
         dense_bytes = out.size * out.type.itemsize
         streams = []
-        if mode == "pull":
+        if event.mode == "pull":
             # One pass over all rows of the matrix plus random gathers from
             # the dense input vector.
             streams.append(rt.seq(mat_bytes, flops))
@@ -126,50 +177,50 @@ class BaseBackend:
             # Gather the frontier's rows.  A sparse frontier hops between
             # rows (strided); a frontier covering most rows degenerates to
             # a sequential pass over the CSR.
-            if in_nvals * 2 >= mat.csr.nrows:
+            if event.in_nvals * 2 >= mat.csr.nrows:
                 streams.append(rt.seq(mat_bytes, flops))
             else:
                 streams.append(rt.strided(mat_bytes, flops))
             # Every produced candidate hits the result accumulator before
             # masking filters it (hash/dense accumulator traffic) — the
             # extra memory accesses Table IV attributes to the matrix API.
-            streams.append(rt.rand(vec_bytes, max(out_nvals, flops, 1)))
-            n_items = max(in_nvals, 1)
-        if masked and mask_bytes:
+            streams.append(rt.rand(vec_bytes,
+                                   max(event.out_nvals, flops, 1)))
+            n_items = max(event.in_nvals, 1)
+        if event.masked and event.mask_bytes:
             # The mask is consulted per produced candidate (SuiteSparse
             # fuses the mask into the multiply; the accesses remain).
-            streams.append(rt.rand(mask_bytes, flops))
-        streams.extend(self._output_pass_streams(out, masked,
-                                                 n_processed=out_nvals))
+            streams.append(rt.rand(event.mask_bytes, flops))
+        streams.extend(self._output_pass_streams(
+            out, event.masked, n_processed=event.out_nvals))
         rt.parallel(
             n_items=n_items,
             instr_per_item=1.0,
             extra_instr=int(flops * INSTR_PER_FLOP),
             streams=streams,
             weights=weights,
-            schedule=self._spmv_schedule(mode),
+            schedule=self._spmv_schedule(event.mode),
         )
-        self._post_op_materialize(out, n_touched=max(out_nvals, 1))
-
-    _charge_vxm = _charge_mxv
+        self._post_op_materialize(out, n_touched=max(event.out_nvals, 1))
 
     # --- matrix-matrix product ------------------------------------------
-    def _charge_mxm(self, out, mat, mat2, flops, method, masked, out_nvals):
+    def _charge_mxm(self, event: OpEvent, out, mat, mat2):
         rt = self.runtime
+        flops = event.flops
         a_bytes = mat.csr.nbytes
         b_bytes = mat2.csr.nbytes
         out_bytes = out.csr.nbytes
         streams = [rt.seq(a_bytes, mat.csr.nvals),
                    rt.strided(b_bytes, flops)]
         instr = flops * INSTR_PER_FLOP
-        if method == "saxpy":
+        if event.method == "saxpy":
             # The expansion buffer (Gustavson accumulator / hash table
             # traffic): written and re-read once per flop.
             buffer_bytes = min(flops, out.csr.ncols) * 12
             streams.append(rt.rand(buffer_bytes, 2 * flops, elem_bytes=12))
             instr += flops * 2.0
         # Write the materialized output.
-        streams.append(rt.seq(out_bytes, max(out_nvals, 1)))
+        streams.append(rt.seq(out_bytes, max(event.out_nvals, 1)))
         row_weights = np.diff(mat.csr.indptr) if mat.csr.nrows else None
         rt.parallel(
             n_items=max(mat.csr.nrows, 1),
@@ -180,9 +231,10 @@ class BaseBackend:
             schedule=self._mxm_schedule(),
         )
 
-    def _charge_diag_mxm(self, out, mat2, flops, out_nvals):
+    def _charge_diag_mxm(self, event: OpEvent, out, mat2):
         """GaloisBLAS's diagonal fast path: one scaling pass over B."""
         rt = self.runtime
+        flops = event.flops
         b_bytes = mat2.csr.nbytes
         rt.parallel(
             n_items=max(mat2.csr.nrows, 1),
@@ -193,17 +245,16 @@ class BaseBackend:
         )
 
     # --- element-wise passes ---------------------------------------------
-    def _charge_elementwise(self, out, n_processed=0, out_nvals=0,
-                            masked=False, gather=False, **_info):
+    def _charge_elementwise(self, event: OpEvent, out):
         rt = self.runtime
         vec_bytes = self._vector_bytes(out)
-        n = max(n_processed, 1)
+        n = max(event.items, 1)
         # Masked/gather passes touch scattered positions of the operand;
         # unmasked passes stream it.
-        scattered = gather or masked
+        scattered = event.gather or event.masked
         streams = [rt.rand(vec_bytes, n) if scattered
                    else rt.seq(vec_bytes, n)]
-        streams.extend(self._output_pass_streams(out, masked,
+        streams.extend(self._output_pass_streams(out, event.masked,
                                                  n_processed=n))
         rt.parallel(
             n_items=n,
@@ -212,34 +263,34 @@ class BaseBackend:
         )
         self._post_op_materialize(out, n_touched=n)
 
-    def _charge_ewise_matrix(self, out, n_processed=0, out_nvals=0,
-                             **_info):
+    def _charge_ewise_matrix(self, event: OpEvent, out):
         rt = self.runtime
+        n_processed = event.items
         rt.parallel(
             n_items=max(n_processed, 1),
             instr_per_item=INSTR_PER_ELEM,
             streams=[rt.seq(out.csr.nbytes, max(n_processed, 1)),
-                     rt.seq(out.csr.nbytes, max(out_nvals, 1))],
+                     rt.seq(out.csr.nbytes, max(event.out_nvals, 1))],
         )
 
-    def _charge_select_matrix(self, out, n_processed=0, out_nvals=0, **_info):
+    def _charge_select_matrix(self, event: OpEvent, out):
         rt = self.runtime
+        n_processed = event.items
         rt.parallel(
             n_items=max(n_processed, 1),
             instr_per_item=INSTR_PER_ELEM,
             streams=[rt.seq(out.csr.nbytes, n_processed),
-                     rt.seq(out.csr.nbytes, max(out_nvals, 1))],
+                     rt.seq(out.csr.nbytes, max(event.out_nvals, 1))],
         )
 
-    def _charge_reduce_matrix(self, out, n_processed=0, **_info):
+    def _charge_reduce_matrix(self, event: OpEvent, out):
         rt = self.runtime
+        n_processed = event.items
         rt.parallel(
             n_items=max(n_processed, 1),
             instr_per_item=INSTR_PER_ELEM,
             streams=[rt.seq(out.csr.nbytes, n_processed)],
         )
-
-    _charge_reduce_matrix_to_vector = None  # falls through to elementwise
 
     # ------------------------------------------------------------------
     # Representation-dependent helpers (overridden per backend)

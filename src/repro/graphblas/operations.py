@@ -12,11 +12,16 @@ Semantics follow the GraphBLAS C spec:
    structural) mask; with ``REPLACE``, entries of ``C`` outside the mask are
    deleted, otherwise they are kept.
 
-Every operation reports a structured *cost event* to the output's backend
-(``backend.charge_op``), which converts it into parallel loops on the
-simulated machine.  One GraphBLAS call is at least one full loop nest plus a
-barrier — the "lightweight loops" property (§II-D observation 1) the paper's
-analysis builds on.
+Every operation emits one typed :class:`~repro.engine.events.OpEvent` to the
+output's backend (``backend.emit``), which converts it into parallel loops
+on the simulated machine and records it in the machine's execution trace.
+One GraphBLAS call is at least one full loop nest plus a barrier — the
+"lightweight loops" property (§II-D observation 1) the paper's analysis
+builds on.
+
+Not to be confused with :mod:`repro.graphblas.ops`, which defines the
+*operators* (unary/binary operators, monoids, semirings) these operations
+are parameterized by.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.errors import DimensionMismatch, InvalidValue
 from repro.graphblas.descriptor import DEFAULT_DESC, Descriptor, GrB_ALL
 from repro.graphblas.matrix import Matrix
@@ -35,6 +41,24 @@ from repro.sparse import spmv as _spmv
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.segreduce import scatter_reduce
 from repro.sparse.semiring_ops import BinaryFn
+
+__all__ = [
+    "mxv",
+    "vxm",
+    "mxm",
+    "eWiseAdd",
+    "eWiseMult",
+    "apply",
+    "select",
+    "assign",
+    "extract",
+    "reduce_to_scalar",
+    "reduce_to_vector",
+    "eWiseAddMatrix",
+    "eWiseMultMatrix",
+    "applyMatrix",
+    "extractMatrix",
+]
 
 
 # ----------------------------------------------------------------------
@@ -174,11 +198,11 @@ def mxv(
     else:
         at_deg = np.diff(at.indptr)
         weights = at_deg[u_idx] + 1
-    w.backend.charge_op(
-        "mxv", out=w, mat=A, flops=flops, in_nvals=len(u_idx),
-        out_nvals=w.nvals, mode=mode, masked=mask is not None,
-        weights=weights, mask_bytes=_mask_dense_bytes(mask),
-    )
+    w.backend.emit(OpEvent(
+        kind="mxv", items=len(u_idx), flops=flops, mode=mode,
+        masked=mask is not None, in_nvals=len(u_idx), out_nvals=w.nvals,
+        mask_bytes=_mask_dense_bytes(mask),
+    ), out=w, mat=A, weights=weights)
     return w
 
 
@@ -225,11 +249,11 @@ def vxm(
         weights = np.diff(at.indptr) + 1
     else:
         weights = np.diff(csr.indptr)[u_idx] + 1
-    w.backend.charge_op(
-        "vxm", out=w, mat=A, flops=flops, in_nvals=len(u_idx),
-        out_nvals=w.nvals, mode=mode, masked=mask is not None,
-        weights=weights, mask_bytes=_mask_dense_bytes(mask),
-    )
+    w.backend.emit(OpEvent(
+        kind="vxm", items=len(u_idx), flops=flops, mode=mode,
+        masked=mask is not None, in_nvals=len(u_idx), out_nvals=w.nvals,
+        mask_bytes=_mask_dense_bytes(mask),
+    ), out=w, mat=A, weights=weights)
     return w
 
 
@@ -273,8 +297,10 @@ def mxm(
         result, flops = _spgemm.spgemm_diag_left(diag, b_csr, mult.fn,
                                                  out_dtype=dtype)
         C.replace_csr(result)
-        C.backend.charge_op("diag_mxm", out=C, mat2=B, flops=flops,
-                            out_nvals=result.nvals)
+        C.backend.emit(OpEvent(
+            kind="diag_mxm", items=result.nvals, flops=flops,
+            out_nvals=result.nvals,
+        ), out=C, mat2=B)
         return C
 
     chosen = method or C.backend.choose_mxm_method(a_csr, b_csr, mask)
@@ -294,10 +320,10 @@ def mxm(
     if desc.mask_comp:
         raise InvalidValue("complemented matrix masks are not supported")
     C.replace_csr(result)
-    C.backend.charge_op(
-        "mxm", out=C, mat=A, mat2=B, flops=flops, method=chosen,
+    C.backend.emit(OpEvent(
+        kind="mxm", items=result.nvals, flops=flops, method=chosen,
         masked=mask is not None, out_nvals=result.nvals,
-    )
+    ), out=C, mat=A, mat2=B)
     return C
 
 
@@ -332,8 +358,10 @@ def eWiseAdd(
 
     allowed = _mask_allowed(mask, w.size, desc)
     _write_back(w, t_vals, t_present, allowed, accum, desc.replace)
-    w.backend.charge_op("ewise_add", out=w, n_processed=int(t_present.sum()),
-                        out_nvals=w.nvals, masked=mask is not None)
+    w.backend.emit(OpEvent(
+        kind="ewise_add", items=int(t_present.sum()), out_nvals=w.nvals,
+        masked=mask is not None,
+    ), out=w)
     return w
 
 
@@ -358,8 +386,10 @@ def eWiseMult(
 
     allowed = _mask_allowed(mask, w.size, desc)
     _write_back(w, t_vals, t_present, allowed, accum, desc.replace)
-    w.backend.charge_op("ewise_mult", out=w, n_processed=int(t_present.sum()),
-                        out_nvals=w.nvals, masked=mask is not None)
+    w.backend.emit(OpEvent(
+        kind="ewise_mult", items=int(t_present.sum()), out_nvals=w.nvals,
+        masked=mask is not None,
+    ), out=w)
     return w
 
 
@@ -385,8 +415,10 @@ def apply(
             op.apply(u.dense_values()[t_present])).astype(w.type.dtype)
     allowed = _mask_allowed(mask, w.size, desc)
     _write_back(w, t_vals, t_present, allowed, accum, desc.replace)
-    w.backend.charge_op("apply", out=w, n_processed=int(t_present.sum()),
-                        out_nvals=w.nvals, masked=mask is not None)
+    w.backend.emit(OpEvent(
+        kind="apply", items=int(t_present.sum()), out_nvals=w.nvals,
+        masked=mask is not None,
+    ), out=w)
     return w
 
 
@@ -426,9 +458,10 @@ def select(
         t_vals = np.where(keep, vals, 0).astype(out.type.dtype)
         allowed = _mask_allowed(mask, out.size, desc)
         _write_back(out, t_vals, keep, allowed, accum, desc.replace)
-        out.backend.charge_op("select", out=out,
-                              n_processed=int(t_present.sum()),
-                              out_nvals=out.nvals, masked=mask is not None)
+        out.backend.emit(OpEvent(
+            kind="select", items=int(t_present.sum()), out_nvals=out.nvals,
+            masked=mask is not None,
+        ), out=out)
         return out
 
     csr: CSRMatrix = source.csr
@@ -447,8 +480,9 @@ def select(
         raise InvalidValue(f"unknown matrix selector {op_name!r}")
     result = csr.filter_entries(np.asarray(keep, dtype=bool))
     out.replace_csr(result)
-    out.backend.charge_op("select_matrix", out=out, n_processed=csr.nvals,
-                          out_nvals=result.nvals)
+    out.backend.emit(OpEvent(
+        kind="select_matrix", items=csr.nvals, out_nvals=result.nvals,
+    ), out=out)
     return out
 
 
@@ -522,8 +556,10 @@ def assign(
         # Both implementations exploit mask sparsity (§III): a masked
         # assign touches the mask's explicit entries, not all of w.
         n_processed = min(n_processed, max(mask.nvals, 1))
-    w.backend.charge_op("assign", out=w, n_processed=n_processed,
-                        out_nvals=w.nvals, masked=mask is not None)
+    w.backend.emit(OpEvent(
+        kind="assign", items=n_processed, out_nvals=w.nvals,
+        masked=mask is not None,
+    ), out=w)
     return w
 
 
@@ -552,9 +588,10 @@ def extract(
     t_vals = np.where(t_present, src_vals[idx], 0).astype(w.type.dtype)
     allowed = _mask_allowed(mask, w.size, desc)
     _write_back(w, t_vals, t_present, allowed, accum, desc.replace)
-    w.backend.charge_op("extract", out=w, n_processed=len(idx),
-                        out_nvals=w.nvals, masked=mask is not None,
-                        gather=True)
+    w.backend.emit(OpEvent(
+        kind="extract", items=len(idx), out_nvals=w.nvals,
+        masked=mask is not None, gather=True,
+    ), out=w)
     return w
 
 
@@ -567,13 +604,13 @@ def reduce_to_scalar(source: Union[Vector, Matrix], mon: Monoid):
     if isinstance(source, Vector):
         idx, vals = source.to_pairs()
         result = mon.reduce_all(vals, dtype=source.type.dtype)
-        source.backend.charge_op("reduce_vector", out=source,
-                                 n_processed=len(idx))
+        source.backend.emit(OpEvent(kind="reduce_vector", items=len(idx)),
+                            out=source)
         return result
     vals = source.csr.value_array(source.type.dtype)
     result = mon.reduce_all(vals, dtype=source.type.dtype)
-    source.backend.charge_op("reduce_matrix", out=source,
-                             n_processed=source.nvals)
+    source.backend.emit(OpEvent(kind="reduce_matrix", items=source.nvals),
+                        out=source)
     return result
 
 
@@ -599,8 +636,9 @@ def reduce_to_vector(
     t_present = csr.row_degrees() > 0
     allowed = _mask_allowed(mask, w.size, desc)
     _write_back(w, t_vals, t_present, allowed, accum, desc.replace)
-    w.backend.charge_op("reduce_matrix_to_vector", out=w, mat=A,
-                        n_processed=csr.nvals, out_nvals=w.nvals)
+    w.backend.emit(OpEvent(
+        kind="reduce_matrix_to_vector", items=csr.nvals, out_nvals=w.nvals,
+    ), out=w, mat=A)
     return w
 
 
@@ -625,9 +663,10 @@ def eWiseAddMatrix(
     result = _combine_matrices(A.csr, B.csr, binop, union=True,
                                dtype=C.type.dtype)
     C.replace_csr(result)
-    C.backend.charge_op("ewise_matrix", out=C,
-                        n_processed=A.nvals + B.nvals,
-                        out_nvals=result.nvals)
+    C.backend.emit(OpEvent(
+        kind="ewise_matrix", items=A.nvals + B.nvals,
+        out_nvals=result.nvals,
+    ), out=C)
     return C
 
 
@@ -644,9 +683,10 @@ def eWiseMultMatrix(
     result = _combine_matrices(A.csr, B.csr, binop, union=False,
                                dtype=C.type.dtype)
     C.replace_csr(result)
-    C.backend.charge_op("ewise_matrix", out=C,
-                        n_processed=A.nvals + B.nvals,
-                        out_nvals=result.nvals)
+    C.backend.emit(OpEvent(
+        kind="ewise_matrix", items=A.nvals + B.nvals,
+        out_nvals=result.nvals,
+    ), out=C)
     return C
 
 
@@ -659,8 +699,9 @@ def applyMatrix(C: Matrix, op: UnaryOp, A: Matrix) -> Matrix:
                        A.csr.indices.copy(),
                        vals.astype(C.type.dtype, copy=False))
     C.replace_csr(result)
-    C.backend.charge_op("ewise_matrix", out=C, n_processed=A.nvals,
-                        out_nvals=result.nvals)
+    C.backend.emit(OpEvent(
+        kind="ewise_matrix", items=A.nvals, out_nvals=result.nvals,
+    ), out=C)
     return C
 
 
@@ -749,6 +790,7 @@ def extractMatrix(C: Matrix, A: Matrix, row_indices, col_indices) -> Matrix:
                        vals.astype(C.type.dtype, copy=False),
                        dedup="last")
     C.replace_csr(result)
-    C.backend.charge_op("select_matrix", out=C, n_processed=n_processed,
-                        out_nvals=result.nvals)
+    C.backend.emit(OpEvent(
+        kind="select_matrix", items=n_processed, out_nvals=result.nvals,
+    ), out=C)
     return C

@@ -14,6 +14,10 @@ the GxB "binop with thunk" idiom LAGraph uses heavily:
 
 >>> binary("plus").bind_second(1)
 UnaryOp(plus_bound)
+
+Not to be confused with :mod:`repro.graphblas.operations`, which defines
+the *operations* (``mxv``, ``eWiseAdd``, ``assign``, ...) these operator
+objects parameterize.
 """
 
 from __future__ import annotations
@@ -24,6 +28,17 @@ import numpy as np
 
 from repro.errors import InvalidValue
 from repro.sparse.semiring_ops import BINARY_FNS, MONOID_FNS, BinaryFn, MonoidFn
+
+__all__ = [
+    "UnaryOp",
+    "BinaryOp",
+    "Monoid",
+    "Semiring",
+    "unary",
+    "binary",
+    "monoid",
+    "semiring",
+]
 
 
 class UnaryOp:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 import repro.graphblas as gb
+from repro.engine.events import OpEvent
 from repro.graphblas.ops import monoid
 
 
@@ -45,9 +46,10 @@ def k_core(backend, A: gb.Matrix, k: int, max_rounds: int = 100000):
         counts = np.where(present, dense, 0)
         # Pass 2: who falls below k this round?
         doomed_local = np.flatnonzero(counts < k)
-        backend.charge_op("select", out=deg2,
-                          n_processed=len(alive_ids),
-                          out_nvals=len(doomed_local))
+        backend.emit(OpEvent(
+            kind="select", label="kcore_below_k", items=len(alive_ids),
+            out_nvals=len(doomed_local),
+        ), out=deg2)
         deg2.free()
         if len(doomed_local) == 0:
             break

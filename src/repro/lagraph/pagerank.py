@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 import repro.graphblas as gb
+from repro.engine.events import OpEvent
 from repro.graphblas.ops import PLUS_FIRST, PLUS_TIMES, binary, monoid
 
 _PLUS = binary("plus")
@@ -69,7 +70,9 @@ def pagerank_gb(backend, A: gb.Matrix, iters: int = 10,
         # Scaled ranks on the diagonal: D = diag(alpha * y / outdeg).
         scaled = damping * y.dense_values(fill=0.0) / deg_dense
         D.replace_csr(_diag_csr(n, scaled))
-        backend.charge_op("assign", out=D, n_processed=n, out_nvals=n)
+        backend.emit(OpEvent(
+            kind="assign", label="pr_diag_build", items=n, out_nvals=n,
+        ), out=D)
         # Contribution matrix: C = D x A — every edge gets its source's
         # contribution as its value (the "edge data" of the paper's gb).
         gb.mxm(C, D, A, PLUS_TIMES)

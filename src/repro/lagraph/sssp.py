@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 import repro.graphblas as gb
+from repro.engine.events import OpEvent
 from repro.graphblas.ops import MIN_PLUS, binary, monoid
 
 _MIN = binary("min")
@@ -59,15 +60,19 @@ def delta_stepping(backend, A: gb.Matrix, source: int, delta: int,
             # Call 2: which candidates actually improve?  (compare pass)
             req_d = req.dense_values(fill=inf)
             improved = req_d < dist.dense_values()
-            backend.charge_op("ewise_mult", out=req,
-                              n_processed=req.nvals, out_nvals=req.nvals)
+            backend.emit(OpEvent(
+                kind="ewise_mult", label="sssp_improved", items=req.nvals,
+                out_nvals=req.nvals,
+            ), out=req)
             # Call 3: merge into dist (eWiseAdd min).
             gb.eWiseAdd(dist, dist, req, monoid("min"))
             # Call 4: next changed set = improved vertices still in bucket.
             idx = np.flatnonzero(improved & (req_d < bucket_hi))
             changed.build(idx, req_d[idx])
-            backend.charge_op("assign", out=changed, n_processed=len(idx),
-                              out_nvals=len(idx))
+            backend.emit(OpEvent(
+                kind="assign", label="sssp_next_changed", items=len(idx),
+                out_nvals=len(idx),
+            ), out=changed)
         # Advance to the next non-empty bucket.
         d = dist.dense_values()
         unsettled = d[(d >= bucket_hi) & (d < inf)]

@@ -13,9 +13,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
-from repro.galois.loops import LoopCharge, do_all, edge_scan_stream
-from repro.galois.worklist import SparseWorklist
+from repro.galois.loops import edge_scan_stream
 from repro.sparse.segreduce import scatter_reduce
 
 
@@ -59,14 +59,14 @@ def _accumulate_source(graph: Graph, s: int, bc: np.ndarray,
             fresh = np.unique(dsts64[on_level])
         else:
             fresh = np.empty(0, dtype=np.int64)
-        do_all(rt, LoopCharge(
-            n_items=len(current),
+        rt.do_all(
+            OpEvent(kind="do_all", label="bc_forward", items=len(current)),
             instr_per_item=2.0,
             extra_instr=scanned * 4,
             streams=[edge_scan_stream(rt, graph, scanned, len(current)),
                      rt.rand(sigma.nbytes, 2 * scanned, elem_bytes=8)],
             weights=out_deg[current] + 1,
-        ))
+        )
         current = fresh
         if len(current):
             levels.append(current)
@@ -86,13 +86,13 @@ def _accumulate_source(graph: Graph, s: int, bc: np.ndarray,
                 terms = (1.0 + delta[dsts64[succ]]) / sigma[dsts64[succ]]
                 scatter_reduce(contrib, seg[succ], terms, "plus")
             delta[verts] += sigma[verts] * contrib
-        do_all(rt, LoopCharge(
-            n_items=len(verts),
+        rt.do_all(
+            OpEvent(kind="do_all", label="bc_backward", items=len(verts)),
             instr_per_item=2.0,
             extra_instr=scanned * 5,
             streams=[edge_scan_stream(rt, graph, scanned, len(verts)),
                      rt.rand(delta.nbytes, 2 * scanned, elem_bytes=8)],
             weights=out_deg[verts] + 1,
-        ))
+        )
     delta[s] = 0.0
     bc += delta

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
-from repro.galois.loops import LoopCharge, do_all, edge_scan_stream
+from repro.galois.loops import edge_scan_stream
 from repro.galois.worklist import SparseWorklist
 from repro.sparse.segreduce import scatter_reduce
 
@@ -48,8 +49,8 @@ def bfs(graph: Graph, source: int) -> np.ndarray:
         fresh = np.unique(dsts[unvisited])
         dist[fresh] = level
         worklist.push(fresh)
-        do_all(rt, LoopCharge(
-            n_items=len(current),
+        rt.do_all(
+            OpEvent(kind="do_all", label="bfs_round", items=len(current)),
             instr_per_item=2.0,
             extra_instr=scanned * 3,
             streams=[
@@ -59,7 +60,7 @@ def bfs(graph: Graph, source: int) -> np.ndarray:
                        elem_bytes=8),                        # worklists
             ],
             weights=out_deg[current] + 1,
-        ))
+        )
         current = worklist.swap()
         if level > n + 1:
             break  # safety net
@@ -114,8 +115,8 @@ def bfs_direction_optimizing(graph: Graph, source: int,
             scanned = max(len(srcs) // 2, 1)
             mode_items, weights = len(unvisited), in_deg[unvisited] + 1
         dist[fresh] = level
-        do_all(rt, LoopCharge(
-            n_items=mode_items,
+        rt.do_all(
+            OpEvent(kind="do_all", label="bfs_do_round", items=mode_items),
             instr_per_item=2.0,
             extra_instr=scanned * 3,
             streams=[
@@ -123,7 +124,7 @@ def bfs_direction_optimizing(graph: Graph, source: int,
                 rt.rand(dist.nbytes, scanned + len(fresh)),
             ],
             weights=weights,
-        ))
+        )
         frontier = fresh.astype(np.int64)
         if level > n + 1:
             break
@@ -161,8 +162,9 @@ def bfs_parent(graph: Graph, source: int) -> np.ndarray:
             parent[fresh] = stage[fresh]
         else:
             fresh = np.empty(0, dtype=np.int64)
-        do_all(rt, LoopCharge(
-            n_items=len(current),
+        rt.do_all(
+            OpEvent(kind="do_all", label="bfs_parent_round",
+                    items=len(current)),
             instr_per_item=2.0,
             extra_instr=scanned * 3,
             streams=[
@@ -170,7 +172,7 @@ def bfs_parent(graph: Graph, source: int) -> np.ndarray:
                 rt.rand(parent.nbytes, scanned + len(fresh), elem_bytes=8),
             ],
             weights=out_deg[current] + 1,
-        ))
+        )
         current = fresh
         if rounds > n + 1:
             break

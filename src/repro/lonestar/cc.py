@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
-from repro.galois.loops import LoopCharge, do_all, for_each_charge
 from repro.sparse.segreduce import scatter_reduce
 
 #: Vertices sampled to identify the giant intermediate component.
@@ -79,13 +79,14 @@ def afforest(graph: Graph, neighbor_rounds: int = 2) -> np.ndarray:
         hops = 0
         for u in srcs:
             hops += _link(parent, int(u), int(indices[indptr[u] + r]))
-        do_all(rt, LoopCharge(
-            n_items=len(srcs),
+        rt.do_all(
+            OpEvent(kind="do_all", label="cc_neighbor_round",
+                    items=len(srcs)),
             instr_per_item=2.0,
             extra_instr=hops * 2,
             streams=[rt.rand(parent.nbytes, hops + len(srcs), elem_bytes=8),
                      rt.strided(graph.csr.nbytes, len(srcs))],
-        ))
+        )
 
     _compress(rt, parent)
 
@@ -94,10 +95,11 @@ def afforest(graph: Graph, neighbor_rounds: int = 2) -> np.ndarray:
     sample = rng.integers(0, n, min(SAMPLE_SIZE, n))
     roots = parent[parent[sample]]
     giant = np.bincount(roots, minlength=n).argmax()
-    do_all(rt, LoopCharge(
-        n_items=len(sample), instr_per_item=4.0,
+    rt.do_all(
+        OpEvent(kind="do_all", label="cc_sample", items=len(sample)),
+        instr_per_item=4.0,
         streams=[rt.rand(parent.nbytes, 2 * len(sample), elem_bytes=8)],
-    ))
+    )
 
     # Phase 3: finish — only vertices outside the giant component process
     # their remaining edges (the fine-grained saving).
@@ -112,14 +114,15 @@ def afforest(graph: Graph, neighbor_rounds: int = 2) -> np.ndarray:
         scanned += max(0, hi - lo)
         for v in indices[lo:hi]:
             hops += _link(parent, int(u), int(v))
-    do_all(rt, LoopCharge(
-        n_items=max(len(outside), 1),
+    rt.do_all(
+        OpEvent(kind="do_all", label="cc_finish",
+                items=max(len(outside), 1)),
         instr_per_item=2.0,
         extra_instr=hops * 2 + scanned * 2,
         streams=[rt.rand(parent.nbytes, hops + scanned, elem_bytes=8),
                  rt.strided(graph.csr.nbytes, scanned)],
         weights=degrees[outside] + 1 if len(outside) else None,
-    ))
+    )
 
     _compress(rt, parent)
     return parent.copy()
@@ -145,12 +148,12 @@ def shiloach_vishkin(graph: Graph) -> np.ndarray:
         # Hook: every edge pulls the larger root toward the smaller.
         scatter_reduce(parent, before[rows], before[cols], "min")
         scatter_reduce(parent, before[cols], before[rows], "min")
-        do_all(rt, LoopCharge(
-            n_items=len(rows),
+        rt.do_all(
+            OpEvent(kind="do_all", label="sv_hook", items=len(rows)),
             instr_per_item=4.0,
             streams=[rt.seq(graph.csr.nbytes, len(rows)),
                      rt.rand(parent.nbytes, 4 * len(rows), elem_bytes=8)],
-        ))
+        )
         # Unbounded pointer jumping (asynchronous, barrier-free slices).
         # Each vertex short-circuits until its parent is a root; with path
         # compression the charged work is the number of pointers that
@@ -158,11 +161,13 @@ def shiloach_vishkin(graph: Graph) -> np.ndarray:
         while True:
             pp = parent[parent]
             moved = int(np.count_nonzero(pp != parent))
-            for_each_charge(rt, LoopCharge(
-                n_items=max(moved, 1), instr_per_item=2.0,
+            rt.for_each(
+                OpEvent(kind="for_each", label="sv_jump",
+                        items=max(moved, 1)),
+                instr_per_item=2.0,
                 streams=[rt.rand(parent.nbytes, 2 * max(moved, 1),
                                  elem_bytes=8)],
-            ))
+            )
             if moved == 0:
                 break
             parent[:] = pp
@@ -180,8 +185,8 @@ def _compress(rt, parent: np.ndarray) -> None:
         if np.array_equal(pp, parent):
             break
         parent[:] = pp
-    do_all(rt, LoopCharge(
-        n_items=len(parent),
+    rt.do_all(
+        OpEvent(kind="do_all", label="cc_compress", items=len(parent)),
         instr_per_item=1.0 * hops,
         streams=[rt.rand(parent.nbytes, hops * len(parent), elem_bytes=8)],
-    ))
+    )

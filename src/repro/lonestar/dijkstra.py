@@ -13,8 +13,8 @@ import heapq
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
-from repro.galois.loops import LoopCharge, for_each_charge
 
 
 def dijkstra(graph: Graph, source: int, dist_dtype=np.int64) -> np.ndarray:
@@ -46,12 +46,12 @@ def dijkstra(graph: Graph, source: int, dist_dtype=np.int64) -> np.ndarray:
                 heapq.heappush(heap, (cand, v))
     # Serial execution: one operator application per relaxation, with the
     # log-factor heap cost folded into the instruction charge.
-    for_each_charge(rt, LoopCharge(
-        n_items=settled,
+    rt.for_each(
+        OpEvent(kind="for_each", label="dijkstra_settle", items=settled),
         instr_per_item=8.0,
         extra_instr=relaxations * 6,
         streams=[rt.strided(graph.csr.nbytes, relaxations),
                  rt.rand(dist.nbytes, relaxations,
                          elem_bytes=dist.itemsize)],
-    ))
+    )
     return dist

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
-from repro.galois.loops import LoopCharge, for_each_charge
 
 
 def k_core(graph: Graph, k: int):
@@ -41,12 +41,12 @@ def k_core(graph: Graph, k: int):
             live = member[nbrs]
             # One decrement per live neighbor hit: a counting scatter.
             deg -= np.bincount(nbrs[live], minlength=n)
-        for_each_charge(rt, LoopCharge(
-            n_items=len(doomed),
+        rt.for_each(
+            OpEvent(kind="for_each", label="kcore_wave", items=len(doomed)),
             instr_per_item=3.0,
             extra_instr=total * 2,
             streams=[rt.strided(graph.csr.nbytes, total),
                      rt.rand(deg.nbytes, total, elem_bytes=8)],
-        ))
+        )
         doomed = np.flatnonzero(member & (deg < k))
     return member, waves

@@ -20,13 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
-from repro.galois.loops import (
-    DEFAULT_TILE,
-    LoopCharge,
-    do_all,
-    for_each_charge,
-)
+from repro.galois.loops import DEFAULT_TILE
 from repro.sparse.tricount import edge_supports, twin_positions
 
 
@@ -50,15 +46,15 @@ def ktruss(graph: Graph, k: int, max_rounds: int = 100000):
     # Initial supports: one full intersection pass (one fused do_all).
     supports, work, row_work = edge_supports(csr, alive)
     rt.charge_alloc(supports.nbytes, "ktruss:supports")
-    do_all(rt, LoopCharge(
-        n_items=csr.nrows,
+    rt.do_all(
+        OpEvent(kind="do_all", label="ktruss_supports", items=csr.nrows),
         instr_per_item=2.0,
         extra_instr=work * 3,
         streams=[rt.strided(csr.nbytes, work),
                  rt.seq(supports.nbytes, csr.nvals, elem_bytes=8)],
         weights=row_work + 1,
         tile_edges=DEFAULT_TILE,
-    ))
+    )
 
     # Removal cascade: a worklist of doomed entry positions (both
     # orientations resolve to the lower position to dedup).
@@ -100,13 +96,14 @@ def ktruss(graph: Graph, k: int, max_rounds: int = 100000):
                 if alive[q] and supports[q] < needed:
                     freshly_doomed.append(min(int(q), int(twin[q])))
         # One asynchronous wave: no global barrier between removals.
-        for_each_charge(rt, LoopCharge(
-            n_items=len(doomed),
+        rt.for_each(
+            OpEvent(kind="for_each", label="ktruss_wave",
+                    items=len(doomed)),
             instr_per_item=4.0,
             extra_instr=wave_work * 3,
             streams=[rt.strided(csr.nbytes, wave_work),
                      rt.rand(supports.nbytes, wave_work, elem_bytes=8)],
-        ))
+        )
         if freshly_doomed:
             doomed = np.unique(np.asarray(freshly_doomed, dtype=np.int64))
             doomed = doomed[alive[doomed]]

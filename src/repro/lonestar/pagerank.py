@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
-from repro.galois.loops import LoopCharge, do_all, edge_scan_stream
+from repro.galois.loops import edge_scan_stream
 from repro.sparse.segreduce import segment_reduce
 
 #: Bytes of the packed per-vertex struct {rank f8, residual f8, degree i4}.
@@ -56,14 +57,14 @@ def pagerank(graph: Graph, iters: int = 10, damping: float = 0.85,
         rank += new_residual          # pr update fused into the same loop
         residual[:] = new_residual
         # -----------------------------------------------------------------
-        do_all(rt, LoopCharge(
-            n_items=len(active),
+        rt.do_all(
+            OpEvent(kind="do_all", label="pr_round", items=len(active)),
             instr_per_item=4.0,
             extra_instr=scanned * 2,
             streams=_layout_streams(rt, graph, n, len(active), scanned,
                                     layout),
             weights=graph.out_degrees()[active] + 1,
-        ))
+        )
     return rank.copy()
 
 

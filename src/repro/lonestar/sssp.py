@@ -18,11 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
-from repro.galois.loops import (DEFAULT_TILE, LoopCharge, edge_scan_stream,
-                                for_each_charge)
+from repro.galois.loops import DEFAULT_TILE, edge_scan_stream
 from repro.galois.worklist import OBIM
-from repro.perf.costmodel import Schedule
 from repro.sparse.segreduce import scatter_reduce
 
 
@@ -72,8 +71,9 @@ def delta_stepping(
             if len(improved):
                 obim.push(improved, dist[improved])
             # Asynchronous slice: no global barrier.
-            for_each_charge(rt, LoopCharge(
-                n_items=len(items),
+            rt.for_each(
+                OpEvent(kind="for_each", label="sssp_relax",
+                        items=len(items)),
                 instr_per_item=3.0,
                 extra_instr=scanned * 4,
                 streams=[
@@ -85,10 +85,8 @@ def delta_stepping(
                 ],
                 weights=out_deg[items] + 1,
                 tile_edges=DEFAULT_TILE if tiled else None,
-            ))
+            )
         # Moving to the next priority level synchronizes the scheduler.
-        rt.machine.charge_loop(schedule=Schedule.STEAL, instructions=0,
-                               n_items=0, huge_pages=rt.huge_pages,
-                               barrier=True)
+        rt.priority_sync(label="sssp_level")
         rt.round()
     return dist

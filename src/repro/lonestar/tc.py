@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
-from repro.galois.loops import DEFAULT_TILE, LoopCharge, do_all
+from repro.galois.loops import DEFAULT_TILE
 from repro.sparse.tricount import count_triangles_lower
 
 
@@ -32,8 +33,8 @@ def triangle_count(graph: Graph) -> int:
     rt.machine.reset_measurement()  # sorting is preprocessing (§IV)
 
     ntri, work, row_work = count_triangles_lower(L)
-    do_all(rt, LoopCharge(
-        n_items=L.nrows,
+    rt.do_all(
+        OpEvent(kind="do_all", label="tc_count", items=L.nrows),
         instr_per_item=2.0,
         # Intersection comparisons plus the runtime symmetry-break test
         # (u > v > w) that gb-ll's preprocessing avoids.
@@ -44,5 +45,5 @@ def triangle_count(graph: Graph) -> int:
         ],
         weights=row_work + 1,                 # wedge work per vertex
         tile_edges=DEFAULT_TILE,              # edge-parallel iteration
-    ))
+    )
     return ntri

@@ -15,6 +15,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro import errors, faults
+from repro.engine.context import ExecutionContext
 from repro.perf.allocator import TrackingAllocator
 from repro.perf.counters import PerfCounters
 from repro.perf.costmodel import (
@@ -57,6 +58,8 @@ class Machine:
         self.allocator = allocator or TrackingAllocator(
             capacity_bytes=DRAM_CAPACITY_BYTES / byte_scale
         )
+        #: Op-event recorder every emitter (backend, runtime) flows through.
+        self.context = ExecutionContext()
         self._loops: list = []
         self._elapsed_ns_default = 0.0
         #: Real-time watchdog: ``time.monotonic()`` deadline after which
@@ -136,6 +139,11 @@ class Machine:
         self.counters.work_items += loop.n_items
         if loop.schedule is not Schedule.SERIAL:
             self.counters.loops += 1
+        self.context.on_loop(
+            n_items=loop.n_items,
+            barrier=loop.barrier,
+            parallel=loop.schedule is not Schedule.SERIAL,
+        )
 
         self._elapsed_ns_default += self.cost_model.loop_time_ns(
             loop, self.threads, self.time_scale)
@@ -145,6 +153,7 @@ class Machine:
     def round(self) -> None:
         """Mark one algorithm-level round (outer iteration)."""
         self.counters.rounds += 1
+        self.context.on_round(self.counters.rounds)
 
     # ------------------------------------------------------------------
     # Reading results
@@ -198,5 +207,6 @@ class Machine:
         runtimes but *includes* it in MRSS, so the allocator's peak is kept.
         """
         self.counters.reset()
+        self.context.reset()
         self._loops.clear()
         self._elapsed_ns_default = 0.0

@@ -6,6 +6,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.events import OpEvent
 from repro.perf.costmodel import Schedule
 from repro.perf.machine import Machine
 from repro.perf.memmodel import AccessPattern, AccessStream
@@ -110,18 +111,27 @@ class Runtime:
             data = np.full(shape, fill, dtype=dtype)
         arr = TrackedArray(self, data, label)
         if first_touch and data.size:
-            self.parallel(
-                n_items=data.size,
-                instr_per_item=1.0,
-                streams=[
-                    AccessStream(
-                        array_bytes=data.nbytes,
-                        n_accesses=data.size,
-                        pattern=AccessPattern.SEQUENTIAL,
-                        elem_bytes=data.itemsize,
-                    )
-                ],
-            )
+            # The first-touch pass is the graph API's materialization
+            # signal, so it is recorded as an ``alloc`` op event.
+            ctx = self.machine.context
+            ctx.open_span()
+            try:
+                self.parallel(
+                    n_items=data.size,
+                    instr_per_item=1.0,
+                    streams=[
+                        AccessStream(
+                            array_bytes=data.nbytes,
+                            n_accesses=data.size,
+                            pattern=AccessPattern.SEQUENTIAL,
+                            elem_bytes=data.itemsize,
+                        )
+                    ],
+                )
+            finally:
+                ctx.close_span(OpEvent(
+                    kind="alloc", label=label, items=data.size,
+                    bytes_materialized=data.nbytes))
         return arr
 
     def track(self, data: np.ndarray, label: str) -> TrackedArray:

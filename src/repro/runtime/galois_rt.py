@@ -6,13 +6,36 @@ huge-page backing, thread binding, and **memory preallocation**: pages are
 reserved up front so execution never dynamically allocates.  Preallocation
 is modeled in the allocator (it raises small-graph MRSS above SuiteSparse's,
 exactly the Table III effect) and is sized when a system is constructed.
+
+The runtime is also the Galois-side *emitter* of the unified op-event
+protocol: Lonestar operators describe each loop with an
+:class:`~repro.engine.events.OpEvent` and hand it to :meth:`do_all`
+(bulk-parallel, one closing barrier) or :meth:`for_each` (one asynchronous
+worklist slice, barrier-free), mirroring how GraphBLAS operations hand
+events to ``backend.emit``.  Both charge the machine exactly as before and
+record the event in the machine's execution trace.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.engine.events import OpEvent
+from repro.errors import InvalidValue
 from repro.perf.costmodel import Schedule
 from repro.perf.machine import Machine
 from repro.runtime.base import Runtime
+
+#: Fixed dispatch cost of one asynchronous worklist slice: threads keep
+#: pulling work without a barrier, so this is far below a loop launch.
+FOR_EACH_SLICE_NS = 15_000.0
+
+
+def _tiled_max_item(weights, tile_edges):
+    """Largest indivisible work item under edge tiling (§V-B)."""
+    if weights is not None and len(weights) and tile_edges:
+        return float(min(np.max(weights), tile_edges))
+    return None
 
 
 class GaloisRuntime(Runtime):
@@ -25,3 +48,100 @@ class GaloisRuntime(Runtime):
 
     def __init__(self, machine: Machine):
         super().__init__(machine)
+
+    # ------------------------------------------------------------------
+    # Op-event emitters (the Galois side of the unified protocol)
+    # ------------------------------------------------------------------
+    def do_all(
+        self,
+        event: OpEvent,
+        *,
+        instr_per_item: float = 2.0,
+        streams=(),
+        weights=None,
+        tile_edges=None,
+        extra_instr: int = 0,
+    ) -> OpEvent:
+        """Charge one ``galois::do_all`` loop (work stealing, one barrier).
+
+        ``event.items`` is the loop's item count; the cost-shaping knobs
+        (instruction proxy, memory streams, per-item weights, edge tiling)
+        stay keyword arguments because they never leave the machine model.
+        Returns the recorded (stamped) event.
+        """
+        if event.kind != "do_all":
+            raise InvalidValue(
+                f"do_all emits 'do_all' events, got {event.kind!r}")
+        ctx = self.machine.context
+        ctx.open_span()
+        try:
+            self.parallel(
+                n_items=event.items,
+                instr_per_item=instr_per_item,
+                streams=streams,
+                weights=weights,
+                max_item_weight=_tiled_max_item(weights, tile_edges),
+                schedule=Schedule.STEAL,
+                extra_instr=extra_instr,
+            )
+        finally:
+            recorded = ctx.close_span(event)
+        return recorded
+
+    def for_each(
+        self,
+        event: OpEvent,
+        *,
+        instr_per_item: float = 2.0,
+        streams=(),
+        weights=None,
+        tile_edges=None,
+        extra_instr: int = 0,
+    ) -> OpEvent:
+        """Charge one asynchronous slice of a ``galois::for_each`` loop.
+
+        No barrier: threads drain the worklist continuously.  The
+        scheduling cost of the concurrent worklist is folded into
+        ``instr_per_item``.  Returns the recorded (stamped) event.
+        """
+        if event.kind != "for_each":
+            raise InvalidValue(
+                f"for_each emits 'for_each' events, got {event.kind!r}")
+        ctx = self.machine.context
+        ctx.open_span()
+        try:
+            self.machine.charge_loop(
+                schedule=Schedule.STEAL,
+                instructions=int(event.items * instr_per_item) + extra_instr,
+                streams=streams,
+                n_items=event.items,
+                weights=weights,
+                max_item_weight=_tiled_max_item(weights, tile_edges),
+                huge_pages=self.huge_pages,
+                barrier=False,
+                fixed_ns=FOR_EACH_SLICE_NS,
+            )
+        finally:
+            recorded = ctx.close_span(event)
+        return recorded
+
+    def priority_sync(self, label: str = "") -> OpEvent:
+        """Synchronize the priority scheduler (drain the current bucket).
+
+        Delta-stepping's level boundary: an explicit barrier between
+        priority buckets, recorded as a ``barrier`` op event.
+        """
+        ctx = self.machine.context
+        ctx.open_span()
+        try:
+            self.machine.charge_loop(
+                schedule=Schedule.STEAL,
+                instructions=0,
+                n_items=0,
+                huge_pages=self.huge_pages,
+                barrier=True,
+            )
+        finally:
+            recorded = ctx.close_span(
+                OpEvent(kind="barrier", label=label, barrier=True))
+        return recorded

@@ -37,7 +37,7 @@ class SuiteSparseBackend(BaseBackend):
         # SpGEMM rows are self-scheduled as well.
         return Schedule.DYNAMIC
 
-    def _charge_mxm(self, out, mat, mat2, flops, method, masked, out_nvals):
+    def _charge_mxm(self, event, out, mat, mat2):
         """SuiteSparse SpGEMM additionally holds the inspector's per-row
         flop/size arrays and assembles C in a workspace before moving it
         into place — the allocation churn behind the tc/ktruss OOMs of
@@ -45,8 +45,8 @@ class SuiteSparseBackend(BaseBackend):
         inspector = self.machine.allocator.allocate(
             (mat.csr.nvals + mat.csr.nrows) * 8, "mxm:inspector")
         workspace = self.machine.allocator.allocate(
-            max(out.csr.nbytes, out_nvals * 12, 64), "mxm:workspace")
-        super()._charge_mxm(out, mat, mat2, flops, method, masked, out_nvals)
+            max(out.csr.nbytes, event.out_nvals * 12, 64), "mxm:workspace")
+        super()._charge_mxm(event, out, mat, mat2)
         self.machine.allocator.free(workspace)
         self.machine.allocator.free(inspector)
 

@@ -1,0 +1,143 @@
+"""Unit tests for the op-event protocol: OpEvent validation, the
+ExecutionContext span attribution, and the lint-style guarantee that no
+call site still uses the old stringly-typed charging helpers."""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.engine import ExecutionContext, OP_KINDS, OpEvent
+from repro.errors import InvalidValue
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+class TestOpEventValidation:
+    def test_known_kinds_construct(self):
+        for kind in OP_KINDS:
+            assert OpEvent(kind=kind).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidValue):
+            OpEvent(kind="spmv")
+
+    def test_negative_counts_rejected(self):
+        for field in ("items", "flops", "bytes_materialized", "loops",
+                      "round_id", "in_nvals", "out_nvals", "mask_bytes"):
+            with pytest.raises(InvalidValue):
+                OpEvent(kind="mxv", **{field: -1})
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(InvalidValue):
+            OpEvent(kind="mxv", mode="sideways")
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(InvalidValue):
+            OpEvent(kind="mxm", method="gustavson")
+
+    def test_frozen(self):
+        event = OpEvent(kind="mxv")
+        with pytest.raises(AttributeError):
+            event.items = 5
+
+    def test_defaults(self):
+        event = OpEvent(kind="do_all", label="demo")
+        assert event.items == 0 and not event.barrier and event.mode == ""
+
+
+class TestExecutionContext:
+    def test_span_attributes_loops(self):
+        ctx = ExecutionContext()
+        ctx.open_span()
+        ctx.on_loop(n_items=10, barrier=False, parallel=True)
+        ctx.on_loop(n_items=10, barrier=True, parallel=True)
+        recorded = ctx.close_span(OpEvent(kind="mxv", items=10))
+        assert recorded.loops == 2
+        assert recorded.barrier  # a barrier inside the span marks the event
+        assert ctx.events == (recorded,)
+
+    def test_serial_loops_not_counted(self):
+        ctx = ExecutionContext()
+        ctx.open_span()
+        ctx.on_loop(n_items=1, barrier=False, parallel=False)
+        recorded = ctx.close_span(OpEvent(kind="apply"))
+        assert recorded.loops == 0
+
+    def test_unattributed_parallel_loop_becomes_event(self):
+        ctx = ExecutionContext()
+        ctx.on_loop(n_items=7, barrier=True, parallel=True)
+        (event,) = ctx.events
+        assert event.kind == "loop" and event.items == 7 and event.loops == 1
+
+    def test_nested_spans_attribute_innermost(self):
+        ctx = ExecutionContext()
+        ctx.open_span()
+        ctx.on_loop(n_items=1, barrier=False, parallel=True)
+        ctx.open_span()
+        ctx.on_loop(n_items=2, barrier=False, parallel=True)
+        inner = ctx.close_span(OpEvent(kind="apply"))
+        outer = ctx.close_span(OpEvent(kind="mxv"))
+        assert inner.loops == 1 and outer.loops == 1
+
+    def test_round_events_tag_round_id(self):
+        ctx = ExecutionContext()
+        ctx.on_round(1)
+        ctx.open_span()
+        recorded = ctx.close_span(OpEvent(kind="mxv"))
+        assert recorded.round_id == 1
+        kinds = [e.kind for e in ctx.events]
+        assert kinds == ["round", "mxv"]
+
+    def test_reset_clears(self):
+        ctx = ExecutionContext()
+        ctx.on_round(3)
+        ctx.reset()
+        assert ctx.events == ()
+        ctx.open_span()
+        assert ctx.close_span(OpEvent(kind="mxv")).round_id == 0
+
+
+class TestProtocolLint:
+    """No call site may bypass the typed protocol.
+
+    These walk the AST of every module under ``src/repro`` (docstrings that
+    merely *mention* the retired helpers don't count) and fail with the
+    offending ``file:line`` list if the old stringly-typed charging
+    protocol creeps back in.
+    """
+
+    def _call_sites(self, predicate):
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if predicate(node):
+                    offenders.append(f"{path}:{node.lineno}")
+        return offenders
+
+    def test_no_stringly_charge_op_calls(self):
+        def is_charge_op_call(node):
+            if not isinstance(node, ast.Call):
+                return False
+            func = node.func
+            name = getattr(func, "attr", getattr(func, "id", ""))
+            return name == "charge_op"
+
+        assert self._call_sites(is_charge_op_call) == []
+
+    def test_no_loopcharge_usage(self):
+        def mentions_loopcharge(node):
+            return (isinstance(node, ast.Name) and node.id == "LoopCharge"
+                    or isinstance(node, ast.Attribute)
+                    and node.attr == "LoopCharge")
+
+        assert self._call_sites(mentions_loopcharge) == []
+
+    def test_no_raw_info_kwargs(self):
+        def is_star_star_info(node):
+            return (isinstance(node, ast.keyword) and node.arg is None
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "info")
+
+        assert self._call_sites(is_star_star_info) == []

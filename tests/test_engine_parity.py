@@ -1,0 +1,57 @@
+"""Cross-stack parity: the three systems must agree on *answers*, and the
+trace-derived loop/round counts must agree with the modeled counters.
+
+This is the protocol's end-to-end invariant (see repro/engine/analysis.py):
+every parallel loop the machine charges is attributed to exactly one
+recorded OpEvent and every round() appends one synthetic round event, so
+``summarize(events).loops == PerfCounters.loops`` (and likewise rounds)
+must hold on every (system, app, graph) cell — not approximately, exactly.
+"""
+
+import pytest
+
+from repro.core.systems import APPLICATIONS, SYSTEMS
+from repro.engine.analysis import crosscheck, run_traced, summarize
+
+GRAPHS = ("road-USA-W", "rmat22")  # one high-diameter, one power-law
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """All (system, app, graph) traced cells, computed once."""
+    return {
+        (system, app, graph): run_traced(system, app, graph)
+        for graph in GRAPHS
+        for app in APPLICATIONS
+        for system in SYSTEMS
+    }
+
+
+class TestAnswerParity:
+    @pytest.mark.parametrize("graph", GRAPHS)
+    @pytest.mark.parametrize("app", APPLICATIONS)
+    def test_systems_agree(self, grid, app, graph):
+        answers = {grid[(s, app, graph)].answer for s in SYSTEMS}
+        assert len(answers) == 1, f"{app}/{graph} disagreement: {answers}"
+
+
+class TestTraceParity:
+    @pytest.mark.parametrize("graph", GRAPHS)
+    @pytest.mark.parametrize("app", APPLICATIONS)
+    def test_trace_matches_modeled_counters(self, grid, app, graph):
+        for system in SYSTEMS:
+            cell = grid[(system, app, graph)]
+            assert crosscheck(cell) == []
+
+    def test_summary_is_pure_function_of_events(self, grid):
+        cell = grid[("GB", "bfs", GRAPHS[0])]
+        assert summarize(cell.events) == cell.summary
+
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_ls_fewer_loops_than_gb(self, grid, graph):
+        # The paper's core finding: the matrix API pays more parallel
+        # loops (one per API call) than the fused graph API.
+        for app in APPLICATIONS:
+            gb = grid[("GB", app, graph)].summary
+            ls = grid[("LS", app, graph)].summary
+            assert ls.loops <= gb.loops

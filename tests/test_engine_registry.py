@@ -1,0 +1,91 @@
+"""Unit tests for the pluggable system/application registry."""
+
+import pytest
+
+from repro.engine.registry import (
+    API_FAMILIES,
+    Capabilities,
+    SystemSpec,
+    application_names,
+    get_application,
+    get_system,
+    system_codes,
+)
+from repro.core.systems import APPLICATIONS, SYSTEMS, SystemInstance, make_system
+from repro.errors import InvalidValue
+from repro.graphs.datasets import get_dataset
+
+SMALL = "road-USA-W"
+
+
+class TestRegistry:
+    def test_derived_tuples_match_registrations(self):
+        assert SYSTEMS == system_codes() == ("SS", "GB", "LS")
+        assert APPLICATIONS == application_names()
+        assert APPLICATIONS == ("bfs", "cc", "ktruss", "pr", "sssp", "tc")
+
+    def test_unknown_system_suggests(self):
+        with pytest.raises(InvalidValue) as exc:
+            get_system("GBX")
+        assert "GB" in str(exc.value) and "known systems" in str(exc.value)
+
+    def test_make_system_raises_through_registry(self):
+        with pytest.raises(InvalidValue):
+            make_system("GPU")
+
+    def test_unknown_application_suggests(self):
+        with pytest.raises(InvalidValue) as exc:
+            get_application("pagerank")
+        assert "pr" in str(exc.value)
+
+    def test_get_application_returns_name(self):
+        assert get_application("bfs") == "bfs"
+
+    def test_invalid_api_family_rejected(self):
+        with pytest.raises(InvalidValue):
+            SystemSpec(code="XX", description="x", api="cuda")
+        assert API_FAMILIES == ("lagraph", "lonestar")
+
+
+class TestCapabilities:
+    def test_capability_flags(self):
+        ss, gb, ls = (get_system(c) for c in ("SS", "GB", "LS"))
+        assert ss.capabilities.masks and not ss.capabilities.fusion
+        assert gb.capabilities.diag_fast_path and gb.capabilities.masks
+        assert not ss.capabilities.diag_fast_path
+        assert ls.capabilities.fusion and ls.capabilities.async_scheduling
+        assert ls.capabilities.priority_scheduling
+        assert not ls.capabilities.masks
+
+    def test_api_families(self):
+        assert get_system("SS").api == "lagraph"
+        assert get_system("GB").api == "lagraph"
+        assert get_system("LS").api == "lonestar"
+
+    def test_defaults_all_false(self):
+        caps = Capabilities()
+        assert not any(getattr(caps, f) for f in (
+            "fusion", "masks", "async_scheduling", "priority_scheduling",
+            "diag_fast_path", "huge_pages", "work_stealing"))
+
+
+class TestInstanceWiring:
+    def test_instance_exposes_spec(self):
+        inst = SystemInstance("LS", get_dataset(SMALL))
+        assert inst.spec is get_system("LS")
+        assert inst.api == "lonestar"
+        assert inst.capabilities.fusion
+        assert inst.backend is None and inst.runtime.name == "galois"
+
+    def test_instance_unknown_code_suggests(self):
+        with pytest.raises(InvalidValue) as exc:
+            SystemInstance("SSS", get_dataset(SMALL))
+        assert "Did you mean" in str(exc.value)
+
+    def test_factories_build_per_system_stacks(self):
+        ss = SystemInstance("SS", get_dataset(SMALL))
+        gb = SystemInstance("GB", get_dataset(SMALL))
+        assert ss.backend.name == "suitesparse"
+        assert ss.machine.allocator.name == "suitesparse"
+        assert gb.machine.allocator.name == "galois"
+        assert gb.backend.supports_diag_opt

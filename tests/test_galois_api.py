@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.engine.events import OpEvent
 from repro.errors import IndexOutOfBounds, InvalidValue
 from repro.galois.graph import Graph
-from repro.galois.loops import LoopCharge, do_all, edge_scan_stream, for_each_charge
+from repro.galois.loops import edge_scan_stream
 from repro.galois.worklist import OBIM, DenseWorklist, SparseWorklist
 from repro.perf.machine import Machine
 from repro.perf.memmodel import AccessPattern
@@ -165,21 +166,35 @@ class TestLoops:
     def test_do_all_charges_barrier_loop(self):
         m = Machine()
         rt = GaloisRuntime(m)
-        do_all(rt, LoopCharge(n_items=100, instr_per_item=2.0))
+        rt.do_all(OpEvent(kind="do_all", items=100), instr_per_item=2.0)
         assert m.counters.loops == 1
         assert m.counters.instructions == 200
         assert m.loop_records[0].barrier
 
+    def test_do_all_records_event(self):
+        m = Machine()
+        rt = GaloisRuntime(m)
+        ev = rt.do_all(OpEvent(kind="do_all", label="demo", items=100),
+                       instr_per_item=2.0)
+        assert ev.kind == "do_all" and ev.loops == 1
+        assert m.context.events[-1] == ev
+
+    def test_do_all_rejects_wrong_kind(self):
+        rt = GaloisRuntime(Machine())
+        with pytest.raises(InvalidValue):
+            rt.do_all(OpEvent(kind="for_each", items=10))
+
     def test_for_each_barrier_free(self):
         m = Machine()
         rt = GaloisRuntime(m)
-        for_each_charge(rt, LoopCharge(n_items=10))
+        ev = rt.for_each(OpEvent(kind="for_each", items=10))
         assert not m.loop_records[0].barrier
+        assert not ev.barrier
 
     def test_for_each_cheaper_than_do_all(self):
         m1, m2 = Machine(), Machine()
-        do_all(GaloisRuntime(m1), LoopCharge(n_items=10))
-        for_each_charge(GaloisRuntime(m2), LoopCharge(n_items=10))
+        GaloisRuntime(m1).do_all(OpEvent(kind="do_all", items=10))
+        GaloisRuntime(m2).for_each(OpEvent(kind="for_each", items=10))
         assert m2.simulated_seconds() < m1.simulated_seconds()
 
     def test_edge_tiling_caps_max_item(self):
@@ -187,9 +202,11 @@ class TestLoops:
         rt = GaloisRuntime(m)
         w = np.ones(100)
         w[0] = 50000.0
-        do_all(rt, LoopCharge(n_items=100, weights=w, tile_edges=512))
+        rt.do_all(OpEvent(kind="do_all", items=100), weights=w,
+                  tile_edges=512)
         untiled = Machine()
-        do_all(GaloisRuntime(untiled), LoopCharge(n_items=100, weights=w))
+        GaloisRuntime(untiled).do_all(OpEvent(kind="do_all", items=100),
+                                      weights=w)
         assert (m.loop_records[0].max_item_frac
                 < untiled.loop_records[0].max_item_frac)
 

@@ -1,0 +1,115 @@
+"""Import-hygiene check: no top-level import cycles among repro modules.
+
+The engine refactor deliberately layers the packages (errors -> engine ->
+perf -> backends/runtime -> algorithms -> core); a cycle at import time
+would make that layering a fiction and eventually deadlock a refactor.
+This walks the AST of every module under ``src/repro``, collects its
+*top-level* (module-scope) imports of other repro modules, and asserts
+the resulting graph is acyclic.  Function-scope imports are exempt — they
+are the sanctioned way to break a would-be cycle (and analysis.py uses
+one for exactly that reason).
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+
+def _module_name(path: pathlib.Path) -> str:
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _top_level_repro_imports(tree: ast.Module, current: str):
+    """Module-scope import targets inside the repro package, unresolved.
+
+    ``from X import Y`` yields ``(X, Y)`` so the graph builder can decide
+    whether ``Y`` is a submodule (edge to ``X.Y``) or just an attribute
+    (edge to ``X``).
+    """
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    yield alias.name, None
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import
+                base = current.split(".")
+                module = ".".join(base[:len(base) - node.level + 1]
+                                  + ([node.module] if node.module else []))
+            else:
+                module = node.module or ""
+            if module.split(".")[0] == "repro":
+                for alias in node.names:
+                    yield module, alias.name
+
+
+def _import_graph():
+    raw = {}
+    for path in sorted(SRC.joinpath("repro").rglob("*.py")):
+        name = _module_name(path)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        raw[name] = list(_top_level_repro_imports(tree, name))
+    graph = {}
+    for name, imports in raw.items():
+        deps = set()
+        for module, attr in imports:
+            # ``from pkg import sub`` depends on pkg.sub, not on pkg's
+            # __init__ (Python resolves the submodule without requiring
+            # the package body to have finished executing).
+            if attr is not None and f"{module}.{attr}" in raw:
+                deps.add(f"{module}.{attr}")
+            else:
+                deps.add(module)
+        deps.discard(name)
+        graph[name] = sorted(deps)
+    return graph
+
+
+def test_no_top_level_import_cycles():
+    graph = _import_graph()
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in graph}
+    stack = []
+    cycles = []
+
+    def visit(name):
+        color[name] = GRAY
+        stack.append(name)
+        for dep in graph.get(name, ()):
+            if dep not in graph:
+                # importing a package resolves to its __init__ module
+                dep = dep if dep in color else None
+            if dep is None:
+                continue
+            if color[dep] == GRAY:
+                cycles.append(stack[stack.index(dep):] + [dep])
+            elif color[dep] == WHITE:
+                visit(dep)
+        stack.pop()
+        color[name] = BLACK
+
+    for name in graph:
+        if color[name] == WHITE:
+            visit(name)
+
+    assert cycles == [], "import cycles found:\n" + "\n".join(
+        " -> ".join(c) for c in cycles)
+
+
+def test_engine_is_below_perf_and_backends():
+    """The engine package must not import perf, backends or algorithms."""
+    graph = _import_graph()
+    forbidden = ("repro.perf", "repro.graphblas", "repro.suitesparse",
+                 "repro.galoisblas", "repro.runtime", "repro.galois",
+                 "repro.lagraph", "repro.lonestar")
+    for module, deps in graph.items():
+        if not module.startswith("repro.engine"):
+            continue
+        bad = [d for d in deps if d.startswith(forbidden)]
+        assert bad == [], f"{module} imports above its layer: {bad}"
