@@ -12,6 +12,12 @@ can be continued with ``--resume`` — already-journaled cells are recalled
 instead of re-run, and the final ``cells.json`` is byte-identical to an
 uninterrupted run's.  Fault injection for drills is configured through the
 ``REPRO_FAULTS`` environment knobs (see ``repro.faults``).
+
+With ``--workers N`` (N > 1) the grid cells run on a supervised pool of N
+worker processes (``repro.service``): crashed or hung workers are
+respawned and their cells requeued, and the journal still commits in
+canonical order, so ``cells.json`` stays byte-identical to a sequential
+run's.  ``--workers`` composes with ``--resume`` and the fault knobs.
 """
 
 import argparse
@@ -45,6 +51,9 @@ def parse_args(argv=None):
                         help=f"graph subset (default: all of {GRAPH_ORDER})")
     parser.add_argument("--apps", nargs="*", default=None,
                         help=f"application subset (default: {APPLICATIONS})")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="run grid cells on N supervised worker "
+                             "processes (default: 1 = in-process)")
     return parser.parse_args(argv)
 
 
@@ -59,12 +68,28 @@ def main(argv=None) -> int:
     apps = list(args.apps or APPLICATIONS)
 
     faults.install_from_env()
+    if args.workers < 1:
+        print(f"--workers wants a positive worker count; got "
+              f"{args.workers}", file=sys.stderr)
+        return 2
     if args.resume:
         n = checkpoint.resume(journal_path)
         print(f"resuming: {n} cells recalled from {journal_path}",
               flush=True)
     else:
         checkpoint.attach(journal_path, fresh=True)
+
+    if args.workers > 1:
+        from repro.service import Supervisor, grid_tasks
+
+        tasks = grid_tasks(
+            graphs, apps,
+            sweep_apps=[a for a in apps if a in figures.FIGURE2_APPS]
+            or figures.FIGURE2_APPS,
+            sweep_graphs=[g for g in graphs if g in LARGEST] or LARGEST)
+        supervisor = Supervisor(tasks, workers=args.workers)
+        supervisor.run()
+        print(supervisor.describe(), flush=True)
 
     targets = (
         ("table1", lambda: tables.table1(graphs)),

@@ -57,7 +57,9 @@ GRAPH_ORDER = (
 #: Version of the persisted cells snapshot (``cells.json``).
 SCHEMA_VERSION = 2
 
-#: Default retry policy for cells failing with transient injected faults.
+#: Default retry policy for cells failing with transient injected faults
+#: (overridable via the ``REPRO_CELL_RETRIES`` knob; see
+#: :func:`repro.faults.retry_policy_from_env`).
 DEFAULT_RETRY = faults.RetryPolicy()
 
 
@@ -86,16 +88,26 @@ class CellResult:
     attempts: int = 1
     #: For ERR cells: exception type, message and traceback summary.
     error: Optional[Dict[str, str]] = None
+    #: Set when the service layer rerouted this cell to a fallback system
+    #: (circuit breaker open): ``{"via": code, "reason": text}``.  The key
+    #: keeps the *original* system so the grid stays complete; this flag
+    #: keeps the substitution visible.
+    degraded: Optional[Dict[str, str]] = None
 
     @property
     def key(self) -> Tuple[str, str, str]:
         return (self.system, self.app, self.graph)
 
     def display(self) -> str:
-        """Table II cell text: seconds, or the failure annotation."""
-        if self.status == OK:
-            return f"{self.seconds:.2f}"
-        return self.status
+        """Table II cell text: seconds, or the failure annotation.
+
+        A degraded cell (ran on a fallback system behind an open circuit
+        breaker) is marked ``~CODE`` so no substitution is silent.
+        """
+        text = f"{self.seconds:.2f}" if self.status == OK else self.status
+        if self.degraded:
+            text += f"~{self.degraded.get('via', '?')}"
+        return text
 
 
 _MEMO: Dict[Tuple[str, str, str], CellResult] = {}
@@ -165,7 +177,8 @@ def run_cell(system: str, app: str, graph: str,
 
     if wall_budget is None:
         wall_budget = _default_wall_budget()
-    policy = retry if retry is not None else DEFAULT_RETRY
+    policy = retry if retry is not None else \
+        faults.retry_policy_from_env(default=DEFAULT_RETRY)
 
     dataset = get_dataset(graph)
     t0 = time.time()
@@ -289,10 +302,14 @@ def cell_to_row(result: CellResult) -> dict:
 
     ``wall_seconds`` is dropped: it is real elapsed time, so keeping it
     would make otherwise-identical runs produce different snapshots (the
-    resume machinery promises byte-identical ``cells.json``).
+    resume machinery promises byte-identical ``cells.json``).  A ``None``
+    ``degraded`` flag is dropped too, so snapshots from runs that never
+    engaged a circuit breaker stay byte-identical to pre-service ones.
     """
     row = asdict(result)
     row.pop("wall_seconds", None)
+    if row.get("degraded") is None:
+        row.pop("degraded", None)
     return row
 
 

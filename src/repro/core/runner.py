@@ -7,6 +7,7 @@ Examples::
     repro-study figure2
     repro-study all --save results.json
     repro-study all --journal run.jsonl --resume   # continue a killed run
+    repro-study all --workers 4 --strict           # supervised worker pool
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ import sys
 
 from repro import errors, faults
 from repro.core import checkpoint, experiments, figures, tables
-from repro.core.experiments import GRAPH_ORDER
+from repro.core.experiments import GRAPH_ORDER, STATUSES
 from repro.core.systems import APPLICATIONS
 
 
@@ -45,6 +46,13 @@ def main(argv=None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="skip cells already present in --journal "
                              "(implies journaling)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="run grid cells on N supervised worker "
+                             "processes (default: 1 = in-process); crashed "
+                             "or hung workers are respawned and their "
+                             "cells requeued")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when any cell ends in ERR")
     args = parser.parse_args(argv)
 
     graphs = args.graphs or list(GRAPH_ORDER)
@@ -57,6 +65,10 @@ def main(argv=None) -> int:
     if args.resume and not args.journal:
         print("repro-study: --resume requires --journal PATH",
               file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("repro-study: --workers wants a positive worker count; got "
+              f"{args.workers}", file=sys.stderr)
         return 2
 
     faults.install_from_env()
@@ -79,9 +91,11 @@ def main(argv=None) -> int:
                     print(_explain_cell(args.system, app, g))
                     print()
         else:
+            if args.workers > 1:
+                _prewarm_grid(args.target, graphs, apps, args.workers)
             targets = ([args.target] if args.target != "all" else
                        ["table1", "table2", "table3", "table4", "table5",
-                        "figure2", "figure3"])
+                        "figure2", "figure3", "validate"])
             for target in targets:
                 print(_render(target, graphs, apps))
                 print()
@@ -92,7 +106,45 @@ def main(argv=None) -> int:
     if args.save:
         experiments.save_results(args.save)
         print(f"(saved cell results to {args.save})", file=sys.stderr)
+    counts = experiments.status_counts()
+    if args.target != "explain":
+        line = " ".join(f"{s}={counts[s]}" for s in STATUSES)
+        print(f"(cells: {line})", file=sys.stderr)
+    if args.strict and counts["ERR"]:
+        print(f"repro-study: --strict: {counts['ERR']} cell(s) ended in "
+              "ERR", file=sys.stderr)
+        return 1
     return 0
+
+
+def _prewarm_grid(target: str, graphs, apps, workers: int) -> None:
+    """Compute the target's grid cells on a supervised worker pool.
+
+    Fills the experiment memo (and the attached journal, in canonical
+    order) so the in-process renderers afterwards only hit cache.  Targets
+    that run no grid cells (table1, table5, figure3 — the latter two use
+    the separate problem-variant memo) are left to the sequential path.
+    """
+    from repro.core.figures import FIGURE2_APPS
+    from repro.service import Supervisor, grid_tasks
+
+    fig2_graphs = ([g for g in graphs if g in GRAPH_ORDER[-4:]]
+                   or list(GRAPH_ORDER[-4:]))
+    if target in ("table2", "table3", "validate"):
+        tasks = grid_tasks(graphs, apps)
+    elif target == "table4":
+        tasks = grid_tasks(graphs, apps, systems=("GB", "LS"))
+    elif target == "figure2":
+        tasks = grid_tasks((), (), sweep_apps=FIGURE2_APPS,
+                           sweep_graphs=fig2_graphs)
+    elif target == "all":
+        tasks = grid_tasks(graphs, apps, sweep_apps=FIGURE2_APPS,
+                           sweep_graphs=fig2_graphs)
+    else:
+        return
+    supervisor = Supervisor(tasks, workers=workers)
+    supervisor.run()
+    print(f"({supervisor.describe()})", file=sys.stderr)
 
 
 def _explain_cell(system: str, app: str, graph: str) -> str:

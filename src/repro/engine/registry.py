@@ -107,6 +107,36 @@ def system_codes() -> Tuple[str, ...]:
     return tuple(_SYSTEMS)
 
 
+def _capability_flags(caps: Capabilities) -> frozenset:
+    return frozenset(name for name, value in vars(caps).items() if value)
+
+
+def compatible_fallbacks(code: str) -> Tuple[str, ...]:
+    """Systems able to stand in for ``code``, best match first.
+
+    A fallback must implement the same API family (its drivers answer the
+    same application calls, so a substituted run stays *valid* — just a
+    different variant).  Candidates whose capability flags cover all of
+    the original's come first: they can take every dispatch fast path the
+    original takes (e.g. ``diag_fast_path`` pagerank), so the degraded
+    run's shape stays closest.  Remaining same-family systems follow.
+    Used by the service layer's circuit breakers to reroute cells away
+    from a crash-looping system; callers must surface the substitution
+    (a ``degraded`` flag), never hide it.
+    """
+    spec = get_system(code)
+    wanted = _capability_flags(spec.capabilities)
+    covering, partial = [], []
+    for other in _SYSTEMS.values():
+        if other.code == code or other.api != spec.api:
+            continue
+        if wanted <= _capability_flags(other.capabilities):
+            covering.append(other.code)
+        else:
+            partial.append(other.code)
+    return tuple(covering + partial)
+
+
 # ----------------------------------------------------------------------
 # Applications
 # ----------------------------------------------------------------------

@@ -28,6 +28,8 @@ Environment knobs (read by the CLI and ``scripts/run_full_study.py`` via
   ``fatal`` (escapes the per-cell handler — simulates a killed run).
 * ``REPRO_FAULTS_RATE`` / ``REPRO_FAULTS_SEED`` — probabilistic transient
   faults at the given per-trip rate, from a seeded (deterministic) RNG.
+* ``REPRO_CELL_RETRIES`` — total attempts per cell for transient faults
+  (first try included; validated at install time like the specs above).
 """
 
 from repro.faults.plan import (
@@ -44,13 +46,14 @@ from repro.faults.plan import (
     plan_from_env,
     trip,
 )
-from repro.faults.policy import RetryPolicy
+from repro.faults.policy import NO_RETRY, RetryPolicy, retry_policy_from_env
 
 __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FatalFault",
     "InjectedFault",
+    "NO_RETRY",
     "RetryPolicy",
     "TransientFault",
     "active_plan",
@@ -59,5 +62,6 @@ __all__ = [
     "install",
     "install_from_env",
     "plan_from_env",
+    "retry_policy_from_env",
     "trip",
 ]

@@ -230,8 +230,13 @@ def install_from_env(environ=None) -> Optional[FaultPlan]:
     """Install the environment-configured plan; returns it (or ``None``).
 
     A no-op (keeping any programmatically installed plan) when the
-    environment requests nothing.
+    environment requests nothing.  Also validates the companion
+    ``REPRO_CELL_RETRIES`` knob so a malformed retry setting fails the
+    run here, up front, like a malformed fault spec.
     """
+    from repro.faults.policy import retry_policy_from_env
+
+    retry_policy_from_env(environ)  # validate-only; run_cell reads it live
     plan = plan_from_env(environ)
     if plan is not None:
         install(plan)

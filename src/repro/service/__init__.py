@@ -1,0 +1,47 @@
+"""Supervised multi-worker execution of the study grid (``repro.service``).
+
+The sequential study loop (``repro-study all``, ``run_full_study.py``) runs
+every cell in one process: a worker-level death — a real SIGKILL/OOM-kill
+or an injected :class:`repro.faults.FatalFault` — aborts the whole grid and
+only the checkpoint journal survives.  This package keeps the study alive
+through such deaths by running cells *out of process* under supervision:
+
+* :mod:`repro.service.supervisor` — the in-process supervisor: owns the
+  canonical task list, dispatches cells to a spawn-based worker pool,
+  detects dead or hung workers (pipe EOF, missed heartbeats, a blown
+  per-cell deadline), respawns them, requeues the in-flight cell, and
+  quarantines a cell as ``ERR``/``PoisonedCell`` after it has crashed
+  ``K`` workers.  Results are committed through the checkpoint cell
+  journal in canonical task order, so a parallel, fault-ridden run
+  produces a ``cells.json`` byte-identical to a sequential clean run.
+* :mod:`repro.service.worker` — the out-of-process worker loop: runs one
+  cell at a time via :func:`repro.core.experiments.run_cell` with the
+  fault plan installed from the environment, heartbeating throughout.
+* :mod:`repro.service.breaker` — per-system circuit breakers (closed →
+  open → half-open) that reroute cells from a crash-looping system to a
+  capability-compatible fallback from the engine registry, flagging the
+  rerouted cell as *degraded* instead of failing (or substituting)
+  silently.
+* :mod:`repro.service.chaos` — deterministic worker-kill/hang schedules
+  for drills (the service-level analogue of :mod:`repro.faults`).
+* :mod:`repro.service.config` — the ``REPRO_SERVICE_*`` /
+  ``REPRO_CELL_*`` / ``REPRO_BREAKER_*`` environment knobs, validated up
+  front (see the "Environment knobs" table in EXPERIMENTS.md).
+
+Both CLIs expose the pool via ``--workers N``; the default ``N=1`` keeps
+the existing in-process sequential path byte-for-byte unchanged.
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.chaos import ChaosPlan
+from repro.service.config import ServiceConfig
+from repro.service.supervisor import CellTask, Supervisor, grid_tasks
+
+__all__ = [
+    "CellTask",
+    "ChaosPlan",
+    "CircuitBreaker",
+    "ServiceConfig",
+    "Supervisor",
+    "grid_tasks",
+]

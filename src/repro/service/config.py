@@ -1,0 +1,136 @@
+"""Environment knobs for the supervised worker pool, validated up front.
+
+Like the fault knobs (``REPRO_FAULTS``), every service knob is parsed and
+range-checked before any worker spawns, so a typo fails the run immediately
+with :class:`repro.errors.InvalidValue` instead of surfacing as a confusing
+mid-grid stall.  The full knob table lives in EXPERIMENTS.md ("Environment
+knobs"); a lint-style test asserts the two stay in sync.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro import errors
+
+#: Default seconds between worker heartbeats.
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+
+#: Default seconds of heartbeat silence before a worker counts as hung.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+#: Default wall-clock seconds one cell may occupy a worker.
+DEFAULT_CELL_DEADLINE = 600.0
+
+#: Default number of worker crashes before a cell is quarantined.
+DEFAULT_MAX_CRASHES = 3
+
+#: Default consecutive per-system failures that open the circuit breaker.
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Default number of dispatch decisions an open breaker waits before
+#: letting one half-open probe through.
+DEFAULT_BREAKER_COOLDOWN = 8
+
+
+def _positive_float(env: dict, name: str, default: float) -> float:
+    raw = env.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise errors.InvalidValue(
+            f"{name} wants a number of seconds, got {raw!r}") from None
+    if value <= 0:
+        raise errors.InvalidValue(f"{name} must be > 0; got {value}")
+    return value
+
+
+def _nonnegative_int(env: dict, name: str, default: int) -> int:
+    raw = env.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise errors.InvalidValue(
+            f"{name} wants an integer, got {raw!r}") from None
+    if value < 0:
+        raise errors.InvalidValue(f"{name} must be >= 0; got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Validated supervisor policy (heartbeat, deadline, quarantine, breaker).
+
+    Build one with :meth:`from_env` (the CLIs do) or directly in tests.
+    """
+
+    #: Seconds between worker heartbeats.
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+    #: Seconds of heartbeat silence before a busy worker counts as hung.
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT
+    #: Wall-clock seconds one cell may occupy a worker before it is killed
+    #: and the cell requeued.
+    cell_deadline: float = DEFAULT_CELL_DEADLINE
+    #: Worker crashes on the same cell before it is quarantined as
+    #: ``ERR``/``PoisonedCell`` (>= 1; crash K of the same cell poisons it).
+    max_crashes: int = DEFAULT_MAX_CRASHES
+    #: Consecutive per-system crash/ERR outcomes that open its breaker
+    #: (0 disables the breaker entirely).
+    breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD
+    #: Dispatch decisions an open breaker waits before one half-open probe.
+    breaker_cooldown: int = DEFAULT_BREAKER_COOLDOWN
+    #: System codes whose breaker is forced open for the whole run.
+    breaker_force_open: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise errors.InvalidValue("heartbeat interval/timeout must be "
+                                      "> 0")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise errors.InvalidValue(
+                "heartbeat timeout must exceed the heartbeat interval "
+                f"(got timeout={self.heartbeat_timeout}, "
+                f"interval={self.heartbeat_interval})")
+        if self.cell_deadline <= 0:
+            raise errors.InvalidValue("cell deadline must be > 0")
+        if self.max_crashes < 1:
+            raise errors.InvalidValue(
+                f"max crashes must be >= 1; got {self.max_crashes}")
+
+    @classmethod
+    def from_env(cls, environ: Optional[dict] = None) -> "ServiceConfig":
+        """Read and validate every ``REPRO_SERVICE_*``-family knob.
+
+        Raises :class:`repro.errors.InvalidValue` on any malformed value —
+        called by the CLIs before the first worker spawns.
+        """
+        env = os.environ if environ is None else environ
+        force_raw = env.get("REPRO_BREAKER_FORCE_OPEN", "").strip()
+        force = tuple(c.strip() for c in force_raw.split(",") if c.strip())
+        if force:
+            from repro.engine.registry import get_system
+
+            for code in force:
+                get_system(code)  # raises with did-you-mean when unknown
+        return cls(
+            heartbeat_interval=_positive_float(
+                env, "REPRO_SERVICE_HEARTBEAT", DEFAULT_HEARTBEAT_INTERVAL),
+            heartbeat_timeout=_positive_float(
+                env, "REPRO_SERVICE_HEARTBEAT_TIMEOUT",
+                DEFAULT_HEARTBEAT_TIMEOUT),
+            cell_deadline=_positive_float(
+                env, "REPRO_CELL_DEADLINE", DEFAULT_CELL_DEADLINE),
+            max_crashes=_nonnegative_int(
+                env, "REPRO_CELL_MAX_CRASHES", DEFAULT_MAX_CRASHES),
+            breaker_threshold=_nonnegative_int(
+                env, "REPRO_BREAKER_THRESHOLD", DEFAULT_BREAKER_THRESHOLD),
+            breaker_cooldown=_nonnegative_int(
+                env, "REPRO_BREAKER_COOLDOWN", DEFAULT_BREAKER_COOLDOWN),
+            breaker_force_open=force,
+        )

@@ -1,0 +1,121 @@
+"""Worker liveness protocol: message tags, the heartbeat thread, health.
+
+The supervisor and its workers talk over one duplex pipe per worker.  All
+messages are small picklable tuples whose first element is a tag:
+
+Worker → supervisor::
+
+    (READY,  worker_id)                  # spawn finished, imports done
+    (HB,     worker_id)                  # periodic liveness beat
+    (START,  worker_id, task_id)         # cell accepted, about to run
+    (RESULT, worker_id, task_id, row)    # cell finished; row is JSON-clean
+
+Supervisor → worker::
+
+    (RUN,  task_dict)                    # run one cell
+    (STOP,)                              # drain and exit
+
+A SIGKILL'd worker never says goodbye: the supervisor learns of the death
+from the pipe (EOF / a torn, unpicklable write) or from the process exit
+code, both surfaced by :class:`WorkerHealth` bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Message tags (worker → supervisor).
+READY = "ready"
+HB = "hb"
+START = "start"
+RESULT = "result"
+
+#: Message tags (supervisor → worker).
+RUN = "run"
+STOP = "stop"
+
+
+class Heartbeat:
+    """Daemon thread beating ``(HB, worker_id)`` down a pipe connection.
+
+    Runs in the *worker* process alongside the cell computation; the GIL
+    guarantees it keeps getting scheduled even while numpy kernels run, so
+    a silent pipe means the worker is truly dead or wedged in
+    uninterruptible state — exactly what the supervisor wants to detect.
+    """
+
+    def __init__(self, conn, worker_id: int, interval: float):
+        self._conn = conn
+        self._worker_id = worker_id
+        self._interval = interval
+        self._stop = threading.Event()
+        #: Serializes pipe writes between this thread and the worker loop —
+        #: concurrent ``Connection.send`` calls may interleave bytes.
+        self.lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._beat, name=f"heartbeat-{worker_id}", daemon=True)
+
+    def start(self) -> None:
+        """Start beating."""
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop beating (idempotent; the daemon thread dies with the
+        process anyway)."""
+        self._stop.set()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                with self.lock:
+                    self._conn.send((HB, self._worker_id))
+            except (OSError, ValueError, BrokenPipeError):
+                return  # supervisor went away; nothing left to tell
+
+
+@dataclass
+class WorkerHealth:
+    """Supervisor-side liveness record for one worker.
+
+    ``task_id``/``task_started`` track the in-flight cell (None when
+    idle); ``last_beat`` is the monotonic time of the last message of any
+    kind (every message proves liveness, not just HB).
+    """
+
+    worker_id: int
+    last_beat: float = field(default_factory=time.monotonic)
+    task_id: Optional[int] = None
+    task_started: Optional[float] = None
+
+    def beat(self) -> None:
+        """Record proof of life (any received message)."""
+        self.last_beat = time.monotonic()
+
+    def started(self, task_id: int) -> None:
+        """Record that the worker accepted a cell."""
+        self.task_id = task_id
+        self.task_started = time.monotonic()
+        self.beat()
+
+    def finished(self) -> None:
+        """Record that the in-flight cell completed."""
+        self.task_id = None
+        self.task_started = None
+        self.beat()
+
+    def stale(self, timeout: float,
+              now: Optional[float] = None) -> bool:
+        """True when the worker has been silent longer than ``timeout``."""
+        now = time.monotonic() if now is None else now
+        return now - self.last_beat > timeout
+
+    def over_deadline(self, deadline: float,
+                      now: Optional[float] = None) -> bool:
+        """True when the in-flight cell has run longer than ``deadline``."""
+        if self.task_started is None:
+            return False
+        now = time.monotonic() if now is None else now
+        return now - self.task_started > deadline

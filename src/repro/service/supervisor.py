@@ -1,0 +1,374 @@
+"""The study-grid supervisor: dispatch, detect, respawn, requeue, commit.
+
+:class:`Supervisor` owns the canonical task list for a grid run and a pool
+of spawn-started workers (:mod:`repro.service.worker`).  Its event loop
+multiplexes the worker pipes and enforces three liveness rules:
+
+* a **dead** worker (SIGKILL, segfault, injected
+  :class:`~repro.faults.FatalFault`) surfaces as pipe EOF or a torn
+  message — the worker is reaped, a replacement spawns, and the in-flight
+  cell is requeued at the front of the queue;
+* a **hung** worker (blown per-cell deadline, or heartbeat silence) is
+  SIGKILLed first and then treated exactly like a dead one;
+* a cell that has crashed ``max_crashes`` workers is **quarantined** as an
+  ``ERR`` cell with ``error.type == "PoisonedCell"`` instead of being
+  retried forever — one poisonous cell cannot stall the pool.
+
+Cells are committed through :class:`repro.core.checkpoint.OrderedCommitter`
+in canonical task order, so the journal stays an in-order prefix (killed
+parallel runs resume like killed sequential ones) and ``cells.json`` is
+byte-identical to a sequential clean run's regardless of worker count,
+crashes, or injected faults.
+
+Per-system circuit breakers (:mod:`repro.service.breaker`) watch outcome
+streams: a system that keeps crashing workers has its cells rerouted to a
+capability-compatible fallback from the engine registry, with a visible
+``degraded`` flag on every rerouted cell.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import errors
+from repro.core import checkpoint, experiments
+from repro.core.experiments import ERR, OK, CellResult
+from repro.service import heartbeat
+from repro.service.breaker import BreakerBoard
+from repro.service.chaos import ChaosPlan
+from repro.service.config import ServiceConfig
+from repro.service.worker import worker_main
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One schedulable unit: a (system, app, graph) cell and its options."""
+
+    #: Position in the canonical task list (the commit order).
+    index: int
+    system: str
+    app: str
+    graph: str
+    #: Record the Figure 2 thread sweep alongside the 56-thread result.
+    sweep: bool = False
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """The experiment-memo key this task computes."""
+        return (self.system, self.app, self.graph)
+
+
+def grid_tasks(graphs: Sequence[str], apps: Sequence[str],
+               systems: Optional[Sequence[str]] = None,
+               sweep_apps: Sequence[str] = (),
+               sweep_graphs: Sequence[str] = ()) -> List[CellTask]:
+    """The canonical task list for a grid: app-major, then system, graph.
+
+    The main grid iterates exactly the order the sequential Table II loop
+    first touches cells in, so the parallel journal commits in the same
+    canonical order a sequential run computes in.  The ``sweep_apps`` ×
+    ``sweep_graphs`` corner (Figure 2's panel) is marked ``sweep=True``
+    for the GB/LS systems so thread sweeps land in the same run; sweep
+    cells outside the main grid (Figure 2 renders its default apps even
+    under an ``--apps`` subset, like the sequential path) are appended
+    after it, preserving one task per (system, app, graph) key.
+    """
+    from repro.core.systems import SYSTEMS
+
+    systems = tuple(systems) if systems is not None else tuple(SYSTEMS)
+    sweep_flags: Dict[Tuple[str, str, str], bool] = {}
+    order: List[Tuple[str, str, str]] = []
+
+    def _add(system, app, graph, sweep):
+        key = (system, app, graph)
+        if key not in sweep_flags:
+            order.append(key)
+        sweep_flags[key] = sweep_flags.get(key, False) or sweep
+
+    for app in apps:
+        for system in systems:
+            for graph in graphs:
+                _add(system, app, graph, False)
+    for app in sweep_apps:
+        for system in ("GB", "LS"):
+            for graph in sweep_graphs:
+                _add(system, app, graph, True)
+    return [CellTask(index, system, app, graph,
+                     sweep=sweep_flags[(system, app, graph)])
+            for index, (system, app, graph) in enumerate(order)]
+
+
+class _WorkerHandle:
+    """Supervisor-side record of one live worker process."""
+
+    __slots__ = ("worker_id", "process", "conn", "health", "ready")
+
+    def __init__(self, worker_id, process, conn):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.health = heartbeat.WorkerHealth(worker_id)
+        self.ready = False
+
+
+class Supervisor:
+    """Run a task list on a supervised, crash-isolated worker pool.
+
+    ``journal`` defaults to whatever journal is attached to the experiment
+    layer (``--journal``/``--resume`` attach one); results also seed the
+    in-process memo, so the table/figure renderers afterwards hit cache.
+    """
+
+    def __init__(self, tasks: Iterable[CellTask], workers: int,
+                 config: Optional[ServiceConfig] = None,
+                 journal=None):
+        self.tasks = list(tasks)
+        self.pool_size = max(1, int(workers))
+        self.config = config if config is not None else \
+            ServiceConfig.from_env()
+        self.journal = journal if journal is not None else \
+            experiments.get_journal()
+        # Parsed in the supervisor purely to fail fast on malformed specs;
+        # the plan itself strikes inside the workers (who re-read the env).
+        ChaosPlan.from_env()
+        self.stats: Dict[str, int] = {
+            "tasks": len(self.tasks), "recalled": 0, "completed": 0,
+            "spawned": 0, "respawns": 0, "crashes": 0, "requeued": 0,
+            "quarantined": 0, "rerouted": 0,
+        }
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._next_worker_id = 0
+        self._pending: deque = deque()
+        self._inflight: Dict[int, tuple] = {}
+        self._crashes: Dict[int, int] = {}
+        self._committer: Optional[checkpoint.OrderedCommitter] = None
+        self._breakers: Optional[BreakerBoard] = None
+        # Consecutive workers dead before their READY: a startup problem
+        # (import error, bad environment), not a poisonous cell — abort
+        # instead of respawning forever.
+        self._early_deaths = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[Tuple[str, str, str], CellResult]:
+        """Execute every task; returns ``{key: CellResult}`` for all of
+        them.
+
+        Never raises for worker-level failures — that is the contract.
+        Cells already satisfied by the experiment memo (a resumed journal)
+        are recalled, not re-run, exactly like the sequential path.
+        """
+        from repro.engine.registry import system_codes
+
+        self._committer = checkpoint.OrderedCommitter(
+            len(self.tasks), journal=self.journal)
+        self._breakers = BreakerBoard(
+            system_codes(), self.config.breaker_threshold,
+            self.config.breaker_cooldown,
+            forced_open=self.config.breaker_force_open)
+        memo = experiments.all_results()
+        for task in self.tasks:
+            cached = memo.get(task.key)
+            if cached is not None and (not task.sweep or cached.thread_sweep
+                                       or cached.status != OK):
+                self._committer.skip(task.index)
+                self.stats["recalled"] += 1
+            else:
+                self._pending.append(task)
+
+        if self._pending:
+            try:
+                for _ in range(min(self.pool_size, len(self._pending))):
+                    self._spawn()
+                self._event_loop()
+            finally:
+                self._shutdown()
+
+        results = experiments.all_results()
+        return {task.key: results[task.key] for task in self.tasks}
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    def _spawn(self):
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main, args=(child_conn, worker_id),
+            name=f"repro-worker-{worker_id}", daemon=True)
+        process.start()
+        child_conn.close()  # parent keeps one end only, so EOF is real
+        self._workers[worker_id] = _WorkerHandle(worker_id, process,
+                                                 parent_conn)
+        self.stats["spawned"] += 1
+
+    def _shutdown(self):
+        for handle in list(self._workers.values()):
+            try:
+                handle.conn.send((heartbeat.STOP,))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for handle in list(self._workers.values()):
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=5)
+            handle.conn.close()
+        self._workers.clear()
+
+    def _reap(self, handle: _WorkerHandle, reason: str):
+        """Kill + account a dead/hung worker; requeue or quarantine its
+        cell."""
+        handle.process.kill()
+        handle.process.join(timeout=5)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        del self._workers[handle.worker_id]
+        self.stats["crashes"] += 1
+        if handle.ready:
+            self._early_deaths = 0
+        else:
+            self._early_deaths += 1
+            if self._early_deaths >= 3:
+                raise errors.ReproError(
+                    f"{self._early_deaths} workers in a row died before "
+                    f"initializing (last: {reason}); the worker "
+                    "environment is broken — aborting instead of "
+                    "respawning forever")
+
+        task_id = handle.health.task_id
+        if task_id is not None and task_id in self._inflight:
+            task, run_system, _degraded = self._inflight.pop(task_id)
+            self._breakers.record(run_system, ok=False)
+            crashes = self._crashes.get(task.index, 0) + 1
+            self._crashes[task.index] = crashes
+            if crashes >= self.config.max_crashes:
+                self._committer.offer(
+                    task.index, _poisoned_cell(task, crashes, reason))
+                self.stats["quarantined"] += 1
+                self.stats["completed"] += 1
+            else:
+                self._pending.appendleft(task)
+                self.stats["requeued"] += 1
+
+        if not self._committer.done and (self._pending or self._inflight):
+            self._spawn()
+            self.stats["respawns"] += 1
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _event_loop(self):
+        tick = self.config.heartbeat_interval
+        while not self._committer.done:
+            conns = {h.conn: h for h in self._workers.values()}
+            for conn in _connection_wait(list(conns), timeout=tick):
+                handle = conns[conn]
+                if handle.worker_id not in self._workers:
+                    continue  # reaped earlier this very iteration
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._reap(handle, "worker died (pipe closed)")
+                    continue
+                except Exception:
+                    # A SIGKILL mid-write leaves a torn, unpicklable
+                    # message; treat it exactly like a death.
+                    self._reap(handle, "worker died (torn message)")
+                    continue
+                self._handle(handle, message)
+            self._check_health()
+            self._dispatch_idle()
+
+    def _handle(self, handle: _WorkerHandle, message: tuple):
+        tag = message[0]
+        handle.health.beat()
+        if tag == heartbeat.READY:
+            handle.ready = True
+            self._early_deaths = 0
+        elif tag == heartbeat.RESULT:
+            _tag, _wid, task_id, row = message
+            self._commit(handle, task_id, row)
+        # HB and START carry no state beyond proof of life.
+
+    def _commit(self, handle: _WorkerHandle, task_id: int, row: dict):
+        if task_id not in self._inflight:
+            return  # late result for a cell already requeued elsewhere
+        task, run_system, degraded = self._inflight.pop(task_id)
+        if degraded is not None:
+            row = dict(row)
+            row["system"] = task.system  # keep the grid keyed as asked
+            row["degraded"] = dict(degraded)
+        result = experiments.cell_from_row(row)
+        self._breakers.record(run_system, ok=result.status != ERR)
+        self._committer.offer(task.index, result)
+        self.stats["completed"] += 1
+        handle.health.finished()
+
+    def _dispatch_idle(self):
+        for handle in self._workers.values():
+            if not self._pending:
+                return
+            if handle.ready and handle.health.task_id is None:
+                self._dispatch(handle, self._pending.popleft())
+
+    def _dispatch(self, handle: _WorkerHandle, task: CellTask):
+        fallback = self._breakers.route(task.system)
+        run_system = fallback or task.system
+        degraded = None
+        if fallback is not None:
+            degraded = {"via": fallback,
+                        "reason": f"circuit breaker open for {task.system}"}
+            self.stats["rerouted"] += 1
+        attempt = self._crashes.get(task.index, 0) + 1
+        self._inflight[task.index] = (task, run_system, degraded)
+        handle.health.started(task.index)
+        try:
+            handle.conn.send((heartbeat.RUN, {
+                "id": task.index, "system": run_system, "app": task.app,
+                "graph": task.graph, "sweep": task.sweep,
+                "attempt": attempt}))
+        except (OSError, ValueError, BrokenPipeError):
+            self._reap(handle, "worker died (send failed)")
+
+    def _check_health(self):
+        for handle in list(self._workers.values()):
+            if handle.worker_id not in self._workers:
+                continue
+            if handle.health.over_deadline(self.config.cell_deadline):
+                self._reap(handle, "cell deadline exceeded")
+            elif handle.health.stale(self.config.heartbeat_timeout):
+                self._reap(handle, "heartbeat lost")
+            elif not handle.process.is_alive():
+                self._reap(handle, "worker died (process exited)")
+
+    def describe(self) -> str:
+        """One-line run summary for the CLIs' stderr diagnostics."""
+        s = self.stats
+        parts = [f"{s['tasks']} cells", f"{self.pool_size} workers"]
+        for key in ("recalled", "crashes", "requeued", "quarantined",
+                    "rerouted"):
+            if s[key]:
+                parts.append(f"{s[key]} {key}")
+        return "service: " + ", ".join(parts)
+
+
+def _poisoned_cell(task: CellTask, crashes: int, reason: str) -> CellResult:
+    """The quarantine record for a cell that keeps killing its workers."""
+    return CellResult(
+        system=task.system, app=task.app, graph=task.graph,
+        status=ERR, seconds=None, mrss_gb=0.0, counters={}, answer=None,
+        thread_sweep={}, attempts=crashes,
+        error={"type": "PoisonedCell",
+               "message": f"quarantined after crashing {crashes} "
+                          f"worker(s); last failure: {reason}",
+               "traceback": ""})

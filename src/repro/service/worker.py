@@ -1,0 +1,86 @@
+"""The out-of-process cell worker: run cells, heartbeat, die honestly.
+
+Each worker is a spawn-started process owning one duplex pipe to the
+supervisor.  Its loop is deliberately thin: install the environment's
+fault plan, announce readiness, then run one cell per ``RUN`` message via
+:func:`repro.core.experiments.run_cell` and send the JSON-clean row back.
+
+Failure behavior is the whole point:
+
+* A :class:`repro.faults.FatalFault` (the injected process kill) is *not*
+  absorbed — the worker exits with a distinct code, exactly as if the OS
+  had killed it, and the supervisor requeues the in-flight cell.
+* The chaos plan (:mod:`repro.service.chaos`) may SIGKILL or hang the
+  worker at a scheduled cell start — a real kill, not a simulation of one.
+* Anything else unexpected escaping :func:`run_cell` (which already folds
+  cell-local errors into ``ERR`` rows) also dies loudly rather than
+  guessing: supervision, not in-worker heroics, owns recovery.
+
+Result rows round-trip through JSON before hitting the pipe, so the bytes
+the supervisor commits are exactly what the journal/snapshot writers
+would produce in-process — the byte-identity guarantee does not depend on
+what pickle does to numpy scalars.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro import faults
+from repro.core import experiments
+from repro.service import chaos, heartbeat
+from repro.service.config import ServiceConfig
+
+#: Worker exit code for a FatalFault (distinct from SIGKILL's -9).
+FATAL_EXIT = 41
+
+
+def json_clean_row(result: "experiments.CellResult") -> dict:
+    """The persisted form of a cell, normalized through one JSON round trip.
+
+    ``cell_to_row`` + JSON encode/decode converts numpy scalars and int
+    dict keys the same way :func:`repro.core.experiments.save_results`
+    does, so a row that crossed a process boundary serializes to the same
+    bytes as one that never left.
+    """
+    row = json.loads(json.dumps(experiments.cell_to_row(result),
+                                default=experiments._jsonify))
+    return row
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """Worker process entry point (the spawn target).
+
+    ``conn`` is the worker's end of the duplex pipe; everything else —
+    fault plan, chaos schedule, retry policy — comes from the inherited
+    environment, so a worker behaves exactly like a sequential run of the
+    same cell under the same knobs.
+    """
+    faults.install_from_env()
+    plan = chaos.ChaosPlan.from_env()
+    config = ServiceConfig.from_env()
+    beat = heartbeat.Heartbeat(conn, worker_id, config.heartbeat_interval)
+    beat.start()
+    with beat.lock:
+        conn.send((heartbeat.READY, worker_id))
+    while True:
+        message = conn.recv()
+        if message[0] == heartbeat.STOP:
+            return
+        task = message[1]
+        with beat.lock:
+            conn.send((heartbeat.START, worker_id, task["id"]))
+        plan.strike(task["system"], task["app"], task["graph"],
+                    task["attempt"])
+        try:
+            result = experiments.run_cell(
+                task["system"], task["app"], task["graph"],
+                sweep_threads=task["sweep"], use_cache=False)
+        except faults.FatalFault:
+            # The simulated process kill: die like one.  The supervisor
+            # sees the exit and requeues the cell.
+            os._exit(FATAL_EXIT)
+        row = json_clean_row(result)
+        with beat.lock:
+            conn.send((heartbeat.RESULT, worker_id, task["id"], row))

@@ -1,0 +1,447 @@
+"""The supervised worker pool: crash/hang recovery, breakers, identity.
+
+The expensive guarantees are exercised on a tiny grid (one graph, one or
+two apps) so every drill spawns real processes but stays seconds-cheap:
+
+* kill-and-requeue — a worker SIGKILLed mid-cell is reaped and respawned,
+  the cell requeued, and the finished grid is byte-identical to a clean
+  sequential run;
+* poison quarantine — a cell that kills its worker on *every* attempt
+  ends as ``ERR``/``PoisonedCell`` after ``max_crashes`` tries without
+  stalling the rest of the pool;
+* hang detection — a worker stuck forever blows the per-cell deadline,
+  is killed, and the cell completes on requeue;
+* circuit breaking — a forced-open breaker reroutes cells to a
+  capability-compatible fallback with a visible ``degraded`` flag.
+"""
+
+import json
+
+import pytest
+
+from repro import errors, faults
+from repro.core import checkpoint, experiments
+from repro.core.experiments import ERR, OK, CellResult
+from repro.core.runner import main as runner_main
+from repro.engine.registry import compatible_fallbacks
+from repro.service import CellTask, ChaosPlan, CircuitBreaker, \
+    ServiceConfig, Supervisor, grid_tasks
+from repro.service.breaker import BreakerBoard, CLOSED, HALF_OPEN, OPEN
+from repro.service.chaos import ChaosSpec
+from repro.service.chaos import parse_spec as parse_chaos_spec
+from repro.service.heartbeat import WorkerHealth
+from repro.service.worker import json_clean_row
+
+GRAPH = "road-USA-W"
+
+#: A ServiceConfig tuned for tests: fast beats, short hang deadline.
+FAST = ServiceConfig(heartbeat_interval=0.05, heartbeat_timeout=10.0,
+                     cell_deadline=8.0)
+
+
+def snapshot_bytes() -> str:
+    """The memo serialized the way ``save_results`` writes cells.json."""
+    rows = [experiments.cell_to_row(v)
+            for v in experiments.all_results().values()]
+    rows.sort(key=lambda r: (r["system"], r["app"], r["graph"]))
+    return json.dumps(rows, sort_keys=True, indent=1,
+                      default=experiments._jsonify)
+
+
+def sequential_baseline(apps=("bfs",)):
+    """Run the tiny grid in-process and return its snapshot bytes."""
+    for app in apps:
+        for system in ("SS", "GB", "LS"):
+            experiments.run_cell(system, app, GRAPH)
+    baseline = snapshot_bytes()
+    experiments.clear_cache()
+    return baseline
+
+
+class TestGridTasks:
+    def test_canonical_app_major_order(self):
+        tasks = grid_tasks(["g1", "g2"], ["bfs", "cc"])
+        assert all(isinstance(t, CellTask) for t in tasks)
+        keys = [t.key for t in tasks]
+        assert keys[0] == ("SS", "bfs", "g1")
+        assert keys[1] == ("SS", "bfs", "g2")
+        assert keys[2] == ("GB", "bfs", "g1")
+        assert keys[6] == ("SS", "cc", "g1")
+        assert [t.index for t in tasks] == list(range(12))
+        assert not any(t.sweep for t in tasks)
+
+    def test_sweep_corner_marks_gb_ls_only(self):
+        tasks = grid_tasks(["g1", "g2"], ["bfs"],
+                           sweep_apps=["bfs"], sweep_graphs=["g2"])
+        swept = {t.key for t in tasks if t.sweep}
+        assert swept == {("GB", "bfs", "g2"), ("LS", "bfs", "g2")}
+
+    def test_sweep_cells_outside_grid_are_appended(self):
+        tasks = grid_tasks(["g1"], ["bfs"],
+                           sweep_apps=["pr"], sweep_graphs=["g1"])
+        assert [t.key for t in tasks[-2:]] == [("GB", "pr", "g1"),
+                                               ("LS", "pr", "g1")]
+        assert all(t.sweep for t in tasks[-2:])
+        assert len({t.key for t in tasks}) == len(tasks)
+
+
+class TestOrderedCommitter:
+    def _cell(self, app):
+        return CellResult(system="GB", app=app, graph=GRAPH, status=OK,
+                          seconds=1.0, mrss_gb=0.1, counters={},
+                          answer=None)
+
+    def test_commits_in_index_order(self, isolated_grid):
+        committer = checkpoint.OrderedCommitter(3)
+        committer.offer(2, self._cell("pr"))
+        committer.offer(1, self._cell("cc"))
+        assert committer.committed == 0 and committer.pending() == 2
+        committer.offer(0, self._cell("bfs"))
+        assert committer.committed == 3 and committer.done
+        assert ("GB", "pr", GRAPH) in experiments.all_results()
+
+    def test_skip_unblocks_later_indexes(self, isolated_grid):
+        committer = checkpoint.OrderedCommitter(2)
+        committer.offer(1, self._cell("bfs"))
+        assert not committer.done
+        committer.skip(0)
+        assert committer.done and committer.committed == 1
+
+    def test_journal_receives_cells_in_order(self, isolated_grid,
+                                             tmp_path):
+        journal = checkpoint.CellJournal(str(tmp_path / "j.jsonl"))
+        committer = checkpoint.OrderedCommitter(2, journal=journal)
+        committer.offer(1, self._cell("cc"))
+        committer.offer(0, self._cell("bfs"))
+        apps = [record["cell"]["app"] for record in
+                (json.loads(line) for line in
+                 (tmp_path / "j.jsonl").read_text().splitlines())]
+        assert apps == ["bfs", "cc"]
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker("GB", threshold=3, cooldown=2)
+        for _ in range(2):
+            breaker.record(ok=False)
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record(ok=False)
+        assert breaker.state == OPEN and not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker("GB", threshold=2, cooldown=2)
+        breaker.record(ok=False)
+        breaker.record(ok=True)
+        breaker.record(ok=False)
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_and_recovery(self):
+        breaker = CircuitBreaker("GB", threshold=1, cooldown=3)
+        breaker.record(ok=False)
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # cooldown ticks down on decisions
+        assert not breaker.allow()
+        assert breaker.allow()      # the half-open probe
+        assert breaker.state == HALF_OPEN
+        breaker.record(ok=True)
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker("GB", threshold=1, cooldown=2)
+        breaker.record(ok=False)
+        assert not breaker.allow()
+        assert breaker.allow()      # the probe
+        breaker.record(ok=False)
+        assert breaker.state == OPEN and not breaker.allow()
+
+    def test_zero_threshold_never_trips(self):
+        breaker = CircuitBreaker("GB", threshold=0, cooldown=1)
+        for _ in range(50):
+            breaker.record(ok=False)
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_forced_open_stays_open(self):
+        breaker = CircuitBreaker("GB", threshold=5, cooldown=1,
+                                 forced_open=True)
+        for _ in range(10):
+            assert not breaker.allow()
+
+    def test_board_routes_to_compatible_closed_fallback(self):
+        board = BreakerBoard(("SS", "GB", "LS"), threshold=1, cooldown=99,
+                             forced_open=("GB",))
+        assert board.route("SS") is None
+        fallback = board.route("GB")
+        assert fallback in compatible_fallbacks("GB")
+        assert board.open_codes() == ("GB",)
+
+    def test_board_runs_in_place_without_healthy_fallback(self):
+        board = BreakerBoard(("SS", "GB", "LS"), threshold=1, cooldown=99,
+                             forced_open=("SS", "GB", "LS"))
+        assert board.route("GB") is None
+
+
+class TestChaosPlan:
+    def test_parse_spec_with_attempt(self):
+        spec = parse_chaos_spec("GB:bfs:road-USA-W:attempt=2", "kill")
+        assert spec == ChaosSpec("GB", "bfs", "road-USA-W", attempt=2,
+                                 action="kill")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(errors.InvalidValue):
+            parse_chaos_spec("GB:bfs", "kill")
+        with pytest.raises(errors.InvalidValue):
+            parse_chaos_spec("GB:bfs:g:retries=2", "kill")
+        with pytest.raises(errors.InvalidValue):
+            ChaosSpec("GB", "bfs", "g", action="explode")
+
+    def test_attempt_scoping(self):
+        plan = ChaosPlan((parse_chaos_spec("GB:bfs:g:attempt=1", "kill"),
+                          parse_chaos_spec("LS:cc:g", "hang")))
+        assert plan.action_for("GB", "bfs", "g", 1) == "kill"
+        assert plan.action_for("GB", "bfs", "g", 2) is None
+        assert plan.action_for("LS", "cc", "g", 7) == "hang"
+        assert plan.action_for("SS", "bfs", "g", 1) is None
+
+    def test_random_channel_kills_first_attempt_only(self):
+        plan = ChaosPlan(kill_rate=1.0, seed=3)
+        assert plan.action_for("GB", "bfs", "g", 1) == "kill"
+        assert plan.action_for("GB", "bfs", "g", 2) is None
+
+    def test_random_channel_is_order_independent(self):
+        a = ChaosPlan(kill_rate=0.5, seed=11)
+        b = ChaosPlan(kill_rate=0.5, seed=11)
+        cells = [("GB", app, g) for app in ("bfs", "cc", "pr")
+                 for g in ("g1", "g2")]
+        forward = [a.action_for(s, ap, g, 1) for s, ap, g in cells]
+        backward = [b.action_for(s, ap, g, 1)
+                    for s, ap, g in reversed(cells)]
+        assert forward == list(reversed(backward))
+
+    def test_from_env_validates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_KILL_CELLS", "GB:bfs")
+        with pytest.raises(errors.InvalidValue):
+            ChaosPlan.from_env()
+        monkeypatch.setenv("REPRO_CHAOS_KILL_CELLS", "")
+        monkeypatch.setenv("REPRO_CHAOS_KILL_RATE", "1.5")
+        with pytest.raises(errors.InvalidValue):
+            ChaosPlan.from_env()
+
+
+class TestServiceConfig:
+    def test_env_knobs_are_validated(self, monkeypatch):
+        for name, bad in [("REPRO_SERVICE_HEARTBEAT", "zero"),
+                          ("REPRO_CELL_DEADLINE", "-1"),
+                          ("REPRO_CELL_MAX_CRASHES", "0"),
+                          ("REPRO_BREAKER_THRESHOLD", "-2"),
+                          ("REPRO_BREAKER_FORCE_OPEN", "XX")]:
+            monkeypatch.setenv(name, bad)
+            with pytest.raises(errors.InvalidValue):
+                ServiceConfig.from_env()
+            monkeypatch.delenv(name)
+
+    def test_env_knobs_apply(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_DEADLINE", "12.5")
+        monkeypatch.setenv("REPRO_CELL_MAX_CRASHES", "5")
+        monkeypatch.setenv("REPRO_BREAKER_FORCE_OPEN", "GB,LS")
+        config = ServiceConfig.from_env()
+        assert config.cell_deadline == 12.5
+        assert config.max_crashes == 5
+        assert config.breaker_force_open == ("GB", "LS")
+
+    def test_heartbeat_timeout_must_exceed_interval(self):
+        with pytest.raises(errors.InvalidValue):
+            ServiceConfig(heartbeat_interval=5.0, heartbeat_timeout=1.0)
+
+
+class TestWorkerHealth:
+    def test_deadline_applies_only_in_flight(self):
+        health = WorkerHealth(0)
+        assert not health.over_deadline(0.0, now=1e9)
+        health.started(7)
+        assert health.over_deadline(0.0, now=health.task_started + 1)
+        health.finished()
+        assert not health.over_deadline(0.0, now=1e9)
+
+    def test_staleness(self):
+        health = WorkerHealth(0)
+        assert health.stale(5.0, now=health.last_beat + 6)
+        health.beat()
+        assert not health.stale(5.0, now=health.last_beat + 4)
+
+
+class TestRetryKnob:
+    def test_env_overrides_attempts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "7")
+        assert faults.retry_policy_from_env().max_attempts == 7
+
+    def test_unset_keeps_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CELL_RETRIES", raising=False)
+        default = faults.RetryPolicy(max_attempts=4)
+        assert faults.retry_policy_from_env(default=default) is default
+
+    def test_malformed_value_fails_at_install(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "two")
+        with pytest.raises(errors.InvalidValue):
+            faults.install_from_env()
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "0")
+        with pytest.raises(errors.InvalidValue):
+            faults.install_from_env()
+
+    def test_run_cell_honors_the_knob(self, isolated_grid, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "1")
+        plan = faults.FaultPlan([faults.FaultSpec("kernel", "fault",
+                                                  transient=True)])
+        with faults.injected(plan):
+            result = experiments.run_cell("GB", "bfs", GRAPH,
+                                          use_cache=False)
+        assert result.status == ERR  # one attempt: the transient sticks
+        monkeypatch.setenv("REPRO_CELL_RETRIES", "3")
+        plan = faults.FaultPlan([faults.FaultSpec("kernel", "fault",
+                                                  nth=1, transient=True)])
+        with faults.injected(plan):
+            result = experiments.run_cell("GB", "bfs", GRAPH,
+                                          use_cache=False)
+        assert result.status == OK and result.attempts == 2
+
+
+class TestJsonCleanRow:
+    def test_row_survives_json_round_trip(self, isolated_grid):
+        result = experiments.run_cell("GB", "bfs", GRAPH)
+        row = json_clean_row(result)
+        assert row == json.loads(json.dumps(row))
+        rebuilt = experiments.cell_from_row(row)
+        assert rebuilt.key == result.key
+        assert rebuilt.seconds == result.seconds
+
+
+@pytest.mark.slow
+class TestSupervisorDrills:
+    """Real multi-process drills; each spawns 2 spawn-context workers."""
+
+    def test_kill_and_requeue_byte_identical(self, isolated_grid,
+                                             monkeypatch, tmp_path):
+        baseline = sequential_baseline(apps=("bfs",))
+
+        monkeypatch.setenv("REPRO_CHAOS_KILL_CELLS",
+                           f"GB:bfs:{GRAPH}:attempt=1")
+        journal = checkpoint.attach(tmp_path / "par.jsonl", fresh=True)
+        supervisor = Supervisor(grid_tasks([GRAPH], ["bfs"]), workers=2,
+                                config=FAST, journal=journal)
+        results = supervisor.run()
+        experiments.set_journal(None)
+
+        assert supervisor.stats["crashes"] >= 1
+        assert supervisor.stats["requeued"] >= 1
+        assert supervisor.stats["respawns"] >= 1
+        assert all(r.status == OK for r in results.values())
+        assert snapshot_bytes() == baseline
+
+        # The journal committed in canonical task order despite the chaos.
+        keys = [tuple(json.loads(line)["cell"][f]
+                      for f in ("system", "app", "graph"))
+                for line in (tmp_path / "par.jsonl").read_text()
+                .splitlines()]
+        assert keys == [t.key for t in grid_tasks([GRAPH], ["bfs"])]
+
+    def test_poison_cell_is_quarantined(self, isolated_grid, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_KILL_CELLS", f"LS:bfs:{GRAPH}")
+        config = ServiceConfig(heartbeat_interval=0.05, max_crashes=2)
+        supervisor = Supervisor(grid_tasks([GRAPH], ["bfs"]), workers=2,
+                                config=config)
+        results = supervisor.run()
+
+        poisoned = results[("LS", "bfs", GRAPH)]
+        assert poisoned.status == ERR
+        assert poisoned.error["type"] == "PoisonedCell"
+        assert poisoned.attempts == 2
+        assert supervisor.stats["quarantined"] == 1
+        assert results[("SS", "bfs", GRAPH)].status == OK
+        assert results[("GB", "bfs", GRAPH)].status == OK
+
+    def test_hung_worker_blows_deadline_and_recovers(self, isolated_grid,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_HANG_CELLS",
+                           f"SS:bfs:{GRAPH}:attempt=1")
+        config = ServiceConfig(heartbeat_interval=0.05, cell_deadline=2.0)
+        supervisor = Supervisor(grid_tasks([GRAPH], ["bfs"],
+                                           systems=("SS",)), workers=1,
+                                config=config)
+        results = supervisor.run()
+        assert results[("SS", "bfs", GRAPH)].status == OK
+        assert supervisor.stats["crashes"] >= 1
+
+    def test_forced_open_breaker_reroutes_with_degraded_flag(
+            self, isolated_grid):
+        config = ServiceConfig(heartbeat_interval=0.05,
+                               breaker_force_open=("GB",))
+        supervisor = Supervisor(grid_tasks([GRAPH], ["bfs"]), workers=2,
+                                config=config)
+        results = supervisor.run()
+
+        rerouted = results[("GB", "bfs", GRAPH)]
+        assert rerouted.system == "GB"  # grid stays keyed as asked
+        assert rerouted.degraded is not None
+        assert rerouted.degraded["via"] in compatible_fallbacks("GB")
+        assert "circuit breaker" in rerouted.degraded["reason"]
+        assert "~" in rerouted.display()  # visible in Table II cells
+        assert supervisor.stats["rerouted"] >= 1
+        assert results[("SS", "bfs", GRAPH)].degraded is None
+        # The flag survives the row round trip (journal / cells.json).
+        row = experiments.cell_to_row(rerouted)
+        assert row["degraded"]["via"] == rerouted.degraded["via"]
+        assert "degraded" not in experiments.cell_to_row(
+            results[("SS", "bfs", GRAPH)])
+
+
+@pytest.mark.slow
+class TestRunnerServiceCLI:
+    def test_workers_flag_matches_sequential(self, isolated_grid,
+                                             capsys):
+        assert runner_main(["table2", "--graphs", GRAPH, "--apps", "bfs",
+                            "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        experiments.clear_cache()
+        assert runner_main(["table2", "--graphs", GRAPH, "--apps",
+                            "bfs"]) == 0
+        assert capsys.readouterr().out == parallel_out
+
+    def test_rejects_nonpositive_workers(self, capsys):
+        assert runner_main(["table2", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestRunnerStatusSummary:
+    def test_summary_printed_to_stderr(self, isolated_grid, capsys):
+        assert runner_main(["table2", "--graphs", GRAPH,
+                            "--apps", "bfs"]) == 0
+        err = capsys.readouterr().err
+        assert "(cells: ok=3 TO=0 OOM=0 ERR=0)" in err
+
+    def test_strict_fails_on_err_cells(self, isolated_grid, monkeypatch,
+                                       capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "kernel:fault:nth=1:times=0")
+        assert runner_main(["table2", "--graphs", GRAPH, "--apps", "bfs",
+                            "--strict"]) == 1
+        err = capsys.readouterr().err
+        assert "--strict" in err and "ERR" in err
+
+    def test_default_still_exits_zero_on_err_cells(self, isolated_grid,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "kernel:fault:nth=1:times=0")
+        assert runner_main(["table2", "--graphs", GRAPH,
+                            "--apps", "bfs"]) == 0
+
+
+class TestAllTargetIncludesValidate:
+    def test_all_renders_every_target(self, monkeypatch, capsys):
+        from repro.core import runner as runner_module
+
+        seen = []
+        monkeypatch.setattr(
+            runner_module, "_render",
+            lambda target, graphs, apps: (seen.append(target)
+                                          or f"<{target}>"))
+        assert runner_main(["all"]) == 0
+        assert seen == ["table1", "table2", "table3", "table4", "table5",
+                        "figure2", "figure3", "validate"]
+        assert "<validate>" in capsys.readouterr().out
