@@ -17,6 +17,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.errors import InvalidValue
+from repro.sparse.join import dedup_bounded
 
 
 class SparseWorklist:
@@ -39,7 +40,9 @@ class SparseWorklist:
         if self._next_chunks:
             merged = np.concatenate(self._next_chunks)
             if self.dedup:
-                merged = np.unique(merged)
+                # Node ids are bounded by |V|: O(n) flag dedup, same
+                # sorted-unique output as the np.unique it replaces.
+                merged = dedup_bounded(merged, self.nnodes)
             self._current = merged
         else:
             self._current = np.empty(0, dtype=np.int64)
@@ -95,12 +98,15 @@ class OBIM:
     ``pop_bucket()`` drains the lowest non-empty bucket.  Items may be
     pushed into the bucket currently being drained, which is what lets
     asynchronous delta-stepping settle a bucket without global barriers.
+    ``domain`` — the exclusive upper bound on item ids (|V|), when known —
+    unlocks the O(n) flag-array dedup for bucket drains.
     """
 
-    def __init__(self, shift: int = 1):
+    def __init__(self, shift: int = 1, domain: Optional[int] = None):
         if shift <= 0:
             raise InvalidValue("OBIM shift must be positive")
         self.shift = shift
+        self.domain = domain
         self._buckets: Dict[int, list] = {}
         self.pushes = 0
 
@@ -136,7 +142,10 @@ class OBIM:
         chunks = self._buckets.pop(key, [])
         if not chunks:
             return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(chunks))
+        merged = np.concatenate(chunks)
+        if self.domain is not None:
+            return dedup_bounded(merged, self.domain)
+        return np.unique(merged)
 
     def empty(self) -> bool:
         """True when every bucket has been drained."""

@@ -759,7 +759,7 @@ def extractMatrix(C: Matrix, A: Matrix, row_indices, col_indices) -> Matrix:
         raise InvalidValue("col index out of range")
 
     # Column remap: old id -> list of new positions (duplicates allowed).
-    from repro.sparse.csr import gather_rows
+    from repro.sparse.csr import expand_ranges, gather_rows
 
     src = A.csr
     cat_cols, positions, seg = gather_rows(src, rows)
@@ -774,10 +774,7 @@ def extractMatrix(C: Matrix, A: Matrix, row_indices, col_indices) -> Matrix:
         # Expand entries whose column appears multiple times in J.
         rep = counts[keep]
         out_rows = np.repeat(seg[keep], rep)
-        flat = np.concatenate([
-            order[a:b] for a, b in zip(lo[keep], hi[keep])
-        ]) if keep.any() else np.empty(0, dtype=np.int64)
-        out_cols = flat
+        out_cols = order[expand_ranges(lo[keep], hi[keep])]
         vals = None
         if src.values is not None:
             vals = np.repeat(src.values[positions[keep]], rep)

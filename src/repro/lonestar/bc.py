@@ -16,6 +16,7 @@ import numpy as np
 from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
 from repro.galois.loops import edge_scan_stream
+from repro.sparse.join import dedup_bounded
 from repro.sparse.segreduce import scatter_reduce
 
 
@@ -56,7 +57,7 @@ def _accumulate_source(graph: Graph, s: int, bc: np.ndarray,
             on_level = level[dsts64] == depth
             scatter_reduce(sigma, dsts64[on_level],
                            sigma[current][seg[on_level]], "plus")
-            fresh = np.unique(dsts64[on_level])
+            fresh = dedup_bounded(dsts64[on_level], n)
         else:
             fresh = np.empty(0, dtype=np.int64)
         rt.do_all(

@@ -16,6 +16,7 @@ from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
 from repro.galois.loops import edge_scan_stream
 from repro.galois.worklist import SparseWorklist
+from repro.sparse.join import dedup_bounded
 from repro.sparse.segreduce import scatter_reduce
 
 #: Lonestar's BFS::DIST_INFINITY.
@@ -46,7 +47,7 @@ def bfs(graph: Graph, source: int) -> np.ndarray:
         dsts, _, _ = graph.gather_out_edges(current)
         scanned = len(dsts)
         unvisited = dist[dsts] == DIST_INFINITY
-        fresh = np.unique(dsts[unvisited])
+        fresh = dedup_bounded(dsts[unvisited], n)
         dist[fresh] = level
         worklist.push(fresh)
         rt.do_all(
@@ -101,7 +102,7 @@ def bfs_direction_optimizing(graph: Graph, source: int,
         if push_edges * alpha < pull_edges or len(unvisited) == 0:
             # Push round — identical to the baseline bfs round.
             dsts, _, _ = graph.gather_out_edges(frontier)
-            fresh = np.unique(dsts[dist[dsts] == DIST_INFINITY]) \
+            fresh = dedup_bounded(dsts[dist[dsts] == DIST_INFINITY], n) \
                 if len(dsts) else dsts.astype(np.int64)
             scanned = len(dsts)
             mode_items, weights = len(frontier), out_deg[frontier] + 1
@@ -110,7 +111,8 @@ def bfs_direction_optimizing(graph: Graph, source: int,
             # they stop early, so charge half the candidate edges.
             srcs, _, seg = graph.gather_in_edges(unvisited)
             hit = dist[srcs] == level - 1 if len(srcs) else srcs
-            fresh = np.unique(unvisited[np.unique(seg[hit])]) \
+            fresh = dedup_bounded(unvisited[dedup_bounded(
+                seg[hit], len(unvisited))], n) \
                 if len(srcs) else np.empty(0, dtype=np.int64)
             scanned = max(len(srcs) // 2, 1)
             mode_items, weights = len(unvisited), in_deg[unvisited] + 1
@@ -158,7 +160,7 @@ def bfs_parent(graph: Graph, source: int) -> np.ndarray:
             # Smallest-predecessor tie-break via a min-scatter.
             stage = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
             scatter_reduce(stage, cand_dst, cand_src, "min")
-            fresh = np.unique(cand_dst)
+            fresh = dedup_bounded(cand_dst, n)
             parent[fresh] = stage[fresh]
         else:
             fresh = np.empty(0, dtype=np.int64)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
 from repro.galois.loops import DEFAULT_TILE
+from repro.sparse.join import dedup_bounded, join_sorted
 from repro.sparse.tricount import edge_supports, twin_positions
 
 
@@ -59,7 +60,7 @@ def ktruss(graph: Graph, k: int, max_rounds: int = 100000):
     # Removal cascade: a worklist of doomed entry positions (both
     # orientations resolve to the lower position to dedup).
     doomed = np.flatnonzero(alive & (supports < needed))
-    doomed = np.unique(np.minimum(doomed, twin[doomed]))
+    doomed = dedup_bounded(np.minimum(doomed, twin[doomed]), csr.nvals)
     rounds = 0
     while len(doomed) and rounds < max_rounds:
         rounds += 1
@@ -82,14 +83,15 @@ def ktruss(graph: Graph, k: int, max_rounds: int = 100000):
             row_v = indices[lo_v:hi_v]
             live_u = alive[lo_u:hi_u]
             # Common live neighbors w: the triangles (u, v, w) destroyed.
-            pos_v = np.searchsorted(row_v, row_u)
-            pos_v = np.minimum(pos_v, len(row_v) - 1)
-            common = (row_v[pos_v] == row_u) & live_u & alive[lo_v + pos_v]
+            # One pairwise merge join — the Gauss-Seidel cascade's
+            # immediate-visibility requirement forbids batching pairs.
+            u_idx, v_idx = join_sorted(row_u, row_v)
             wave_work += len(row_u)
-            if not common.any():
+            live_common = live_u[u_idx] & alive[lo_v + v_idx]
+            if not live_common.any():
                 continue
-            p_uw = lo_u + np.flatnonzero(common)
-            p_vw = lo_v + pos_v[common]
+            p_uw = lo_u + u_idx[live_common]
+            p_vw = lo_v + v_idx[live_common]
             for q in np.concatenate([p_uw, p_vw]):
                 supports[q] -= 1
                 supports[twin[q]] -= 1
@@ -105,7 +107,8 @@ def ktruss(graph: Graph, k: int, max_rounds: int = 100000):
                      rt.rand(supports.nbytes, wave_work, elem_bytes=8)],
         )
         if freshly_doomed:
-            doomed = np.unique(np.asarray(freshly_doomed, dtype=np.int64))
+            doomed = dedup_bounded(
+                np.asarray(freshly_doomed, dtype=np.int64), csr.nvals)
             doomed = doomed[alive[doomed]]
         else:
             doomed = np.empty(0, dtype=np.int64)

@@ -22,6 +22,7 @@ from repro.engine.events import OpEvent
 from repro.galois.graph import Graph
 from repro.galois.loops import DEFAULT_TILE, edge_scan_stream
 from repro.galois.worklist import OBIM
+from repro.sparse.join import dedup_bounded
 from repro.sparse.segreduce import scatter_reduce
 
 
@@ -43,7 +44,7 @@ def delta_stepping(
         raise ValueError("sssp requires edge weights")
 
     dist[source] = 0
-    obim = OBIM(shift=delta)
+    obim = OBIM(shift=delta, domain=n)
     obim.push(np.array([source]), np.array([0]))
 
     while True:
@@ -64,7 +65,7 @@ def delta_stepping(
                 cand = dist[items][seg] + w.astype(dist_dtype)
                 before = dist[dsts]
                 scatter_reduce(dist, dsts, cand, "min")
-                improved = np.unique(dsts[cand < before])
+                improved = dedup_bounded(dsts[cand < before], n)
                 improved = improved[dist[improved] < inf]
             else:
                 improved = np.empty(0, dtype=np.int64)

@@ -5,15 +5,21 @@ messages are small picklable tuples whose first element is a tag:
 
 Worker → supervisor::
 
-    (READY,  worker_id)                  # spawn finished, imports done
-    (HB,     worker_id)                  # periodic liveness beat
-    (START,  worker_id, task_id)         # cell accepted, about to run
-    (RESULT, worker_id, task_id, row)    # cell finished; row is JSON-clean
+    (READY,    worker_id)                # spawn finished, imports done
+    (HB,       worker_id)                # periodic liveness beat
+    (START,    worker_id, task_id)       # task accepted, about to run
+    (RESULT,   worker_id, task_id, row)  # cell finished; row is JSON-clean
+    (PREBUILT, worker_id, task_id)       # dataset prewarm finished
 
 Supervisor → worker::
 
-    (RUN,  task_dict)                    # run one cell
+    (RUN,      task_dict)                # run one cell
+    (PREBUILD, task_dict)                # warm one graph's dataset cache
     (STOP,)                              # drain and exit
+
+Prebuild tasks carry negative ids (cell indices are >= 0), so a worker
+dying mid-prewarm requeues nothing — the replacement worker restarts its
+own warmup queue.
 
 A SIGKILL'd worker never says goodbye: the supervisor learns of the death
 from the pipe (EOF / a torn, unpicklable write) or from the process exit
@@ -32,9 +38,11 @@ READY = "ready"
 HB = "hb"
 START = "start"
 RESULT = "result"
+PREBUILT = "prebuilt"
 
 #: Message tags (supervisor → worker).
 RUN = "run"
+PREBUILD = "prebuild"
 STOP = "stop"
 
 

@@ -105,14 +105,19 @@ def grid_tasks(graphs: Sequence[str], apps: Sequence[str],
 class _WorkerHandle:
     """Supervisor-side record of one live worker process."""
 
-    __slots__ = ("worker_id", "process", "conn", "health", "ready")
+    __slots__ = ("worker_id", "process", "conn", "health", "ready",
+                 "warmup")
 
-    def __init__(self, worker_id, process, conn):
+    def __init__(self, worker_id, process, conn, warmup=()):
         self.worker_id = worker_id
         self.process = process
         self.conn = conn
         self.health = heartbeat.WorkerHealth(worker_id)
         self.ready = False
+        #: Graphs to prebuild (one PREBUILD task each) before this worker
+        #: accepts grid cells, so its first cell per graph never spends
+        #: its deadline on dataset generation.
+        self.warmup = deque(warmup)
 
 
 class Supervisor:
@@ -138,8 +143,14 @@ class Supervisor:
         self.stats: Dict[str, int] = {
             "tasks": len(self.tasks), "recalled": 0, "completed": 0,
             "spawned": 0, "respawns": 0, "crashes": 0, "requeued": 0,
-            "quarantined": 0, "rerouted": 0,
+            "quarantined": 0, "rerouted": 0, "prewarmed": 0,
         }
+        # Distinct graphs in task order: each worker prebuilds the ones
+        # still pending before accepting cells (negative task ids).
+        self._warm_graphs: Tuple[str, ...] = tuple(
+            dict.fromkeys(task.graph for task in self.tasks))
+        self._warm_ids: Dict[str, int] = {
+            graph: -(i + 1) for i, graph in enumerate(self._warm_graphs)}
         self._ctx = multiprocessing.get_context("spawn")
         self._workers: Dict[int, _WorkerHandle] = {}
         self._next_worker_id = 0
@@ -205,8 +216,14 @@ class Supervisor:
             name=f"repro-worker-{worker_id}", daemon=True)
         process.start()
         child_conn.close()  # parent keeps one end only, so EOF is real
-        self._workers[worker_id] = _WorkerHandle(worker_id, process,
-                                                 parent_conn)
+        # Warm only graphs that still have pending cells: a late respawn
+        # shouldn't rebuild datasets no remaining cell will touch.
+        pending_graphs = ({t.graph for t in self._pending}
+                         | {entry[0].graph
+                            for entry in self._inflight.values()})
+        self._workers[worker_id] = _WorkerHandle(
+            worker_id, process, parent_conn,
+            warmup=(g for g in self._warm_graphs if g in pending_graphs))
         self.stats["spawned"] += 1
 
     def _shutdown(self):
@@ -298,6 +315,9 @@ class Supervisor:
         elif tag == heartbeat.RESULT:
             _tag, _wid, task_id, row = message
             self._commit(handle, task_id, row)
+        elif tag == heartbeat.PREBUILT:
+            handle.health.finished()
+            self.stats["prewarmed"] += 1
         # HB and START carry no state beyond proof of life.
 
     def _commit(self, handle: _WorkerHandle, task_id: int, row: dict):
@@ -319,7 +339,20 @@ class Supervisor:
             if not self._pending:
                 return
             if handle.ready and handle.health.task_id is None:
-                self._dispatch(handle, self._pending.popleft())
+                if handle.warmup:
+                    self._dispatch_prebuild(handle)
+                else:
+                    self._dispatch(handle, self._pending.popleft())
+
+    def _dispatch_prebuild(self, handle: _WorkerHandle):
+        graph = handle.warmup.popleft()
+        task_id = self._warm_ids[graph]
+        handle.health.started(task_id)
+        try:
+            handle.conn.send((heartbeat.PREBUILD,
+                              {"id": task_id, "graph": graph}))
+        except (OSError, ValueError, BrokenPipeError):
+            self._reap(handle, "worker died (send failed)")
 
     def _dispatch(self, handle: _WorkerHandle, task: CellTask):
         fallback = self._breakers.route(task.system)
@@ -355,8 +388,8 @@ class Supervisor:
         """One-line run summary for the CLIs' stderr diagnostics."""
         s = self.stats
         parts = [f"{s['tasks']} cells", f"{self.pool_size} workers"]
-        for key in ("recalled", "crashes", "requeued", "quarantined",
-                    "rerouted"):
+        for key in ("recalled", "prewarmed", "crashes", "requeued",
+                    "quarantined", "rerouted"):
             if s[key]:
                 parts.append(f"{s[key]} {key}")
         return "service: " + ", ".join(parts)

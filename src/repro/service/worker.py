@@ -71,6 +71,24 @@ def worker_main(conn, worker_id: int) -> None:
         task = message[1]
         with beat.lock:
             conn.send((heartbeat.START, worker_id, task["id"]))
+        if message[0] == heartbeat.PREBUILD:
+            # Warm this process's dataset cache so the first *cell* on
+            # each graph doesn't spend its deadline on generation (uk07's
+            # crawl takes the longest).  A failed warm is non-fatal: the
+            # cell will just build lazily, exactly as before.
+            try:
+                from repro.graphs.datasets import get_dataset
+
+                dataset = get_dataset(task["graph"])
+                dataset.build()
+                dataset.build_symmetric()
+            except faults.FatalFault:
+                os._exit(FATAL_EXIT)
+            except Exception:
+                pass
+            with beat.lock:
+                conn.send((heartbeat.PREBUILT, worker_id, task["id"]))
+            continue
         plan.strike(task["system"], task["app"], task["graph"],
                     task["attempt"])
         try:

@@ -7,11 +7,21 @@ performance *accounting* (instructions, access streams, scheduling) is done
 by the callers through the machine model, never inferred from wall clock.
 
 Scatter/gather reductions all route through :mod:`repro.sparse.segreduce`,
-the fast-path engine that picks the best numpy plan per monoid/dtype.
+the fast-path engine that picks the best numpy plan per monoid/dtype;
+sorted-row intersections route through :mod:`repro.sparse.join`, its
+merge-join counterpart.
 """
 
-from repro.sparse.csr import CSRMatrix, build_csr, gather_rows
+from repro.sparse.csr import CSRMatrix, build_csr, expand_ranges, gather_rows
+from repro.sparse.join import (
+    JoinResult,
+    dedup_bounded,
+    join_sorted,
+    masked_row_join,
+    row_pair_join,
+)
 from repro.sparse.segreduce import (
+    coo_group_reduce,
     group_reduce,
     identity_for,
     scatter_reduce,
@@ -26,12 +36,19 @@ from repro.sparse.semiring_ops import (
 __all__ = [
     "BinaryFn",
     "CSRMatrix",
+    "JoinResult",
     "MonoidFn",
     "SegmentReducer",
     "build_csr",
+    "coo_group_reduce",
+    "dedup_bounded",
+    "expand_ranges",
     "gather_rows",
     "group_reduce",
     "identity_for",
+    "join_sorted",
+    "masked_row_join",
+    "row_pair_join",
     "scatter_reduce",
     "segment_reduce",
 ]

@@ -263,6 +263,25 @@ def build_csr(
     return CSRMatrix(nrows, ncols, indptr, out_cols, values_sorted)
 
 
+def expand_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(starts[k], stops[k])`` without a Python loop.
+
+    The index-expansion primitive underneath :func:`gather_rows` and the
+    merge-join engine: turns per-row (or per-slice) boundary pairs into the
+    flat positions they cover, in order.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    lens = stops - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    bounds = np.concatenate(([0], np.cumsum(lens)))
+    out = np.arange(total, dtype=np.int64)
+    out += np.repeat(starts - bounds[:-1], lens)
+    return out
+
+
 def gather_rows(matrix: CSRMatrix, rows: np.ndarray):
     """Concatenate several CSR rows without a Python loop.
 
@@ -275,12 +294,9 @@ def gather_rows(matrix: CSRMatrix, rows: np.ndarray):
     rows = np.asarray(rows, dtype=np.int64)
     starts = matrix.indptr[rows]
     lens = matrix.indptr[rows + 1] - starts
-    total = int(lens.sum())
-    if total == 0:
+    positions = expand_ranges(starts, starts + lens)
+    if len(positions) == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty.astype(INDEX_DTYPE), empty, empty
-    seg_bounds = np.concatenate(([0], np.cumsum(lens)))
-    positions = np.arange(total, dtype=np.int64)
-    positions += np.repeat(starts - seg_bounds[:-1], lens)
     segment_ids = np.repeat(np.arange(len(rows), dtype=np.int64), lens)
     return matrix.indices[positions], positions, segment_ids

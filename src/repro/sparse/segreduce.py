@@ -259,3 +259,53 @@ def group_reduce(
     dense = segment_reduce(values, keys, n_keys, monoid, dtype=dtype)
     touched = np.flatnonzero(np.bincount(keys, minlength=n_keys)[:n_keys])
     return touched, dense[touched]
+
+
+#: Cap on :func:`coo_group_reduce`'s densified (row span x ncols) table.
+COO_DENSE_BUDGET = 1 << 22
+
+
+def coo_group_reduce(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    ncols: int,
+    monoid: Union[str, object],
+    dtype=None,
+):
+    """Combine duplicate (row, col) pairs of one COO batch.
+
+    ``rows`` must be non-decreasing (SpGEMM's batched expansions are: the
+    batch walks A's rows in order).  Returns ``(out_rows, out_cols,
+    out_values)`` sorted by (row, col) with one entry per distinct pair —
+    exactly what the ``np.unique(keys, return_inverse=True)`` + reduce
+    idiom produces, but via the two-pass densify/bincount strategy the
+    push-style SpMV kernels use (:func:`group_reduce`): when the batch's
+    row span densifies to an affordable table, two O(n) passes replace the
+    O(n log n) key sort.  Batches whose span is too sparse to densify keep
+    the sort; both paths reduce values in array order, so results are
+    bit-identical either way.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    dtype = np.dtype(dtype if dtype is not None else
+                     np.asarray(values).dtype)
+    if len(rows) == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=dtype))
+    row_lo = int(rows[0])
+    row_hi = int(rows[-1])
+    table = (row_hi - row_lo + 1) * int(ncols)
+    if table <= COO_DENSE_BUDGET and table <= 8 * len(rows):
+        base = np.int64(row_lo) * np.int64(ncols)
+        local = rows * np.int64(ncols) + cols - base
+        touched, vals = group_reduce(local, values, table, monoid,
+                                     dtype=dtype)
+        keys = touched + base
+    else:
+        keys = rows * np.int64(ncols) + cols
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        vals = segment_reduce(values, inverse, len(uniq), monoid,
+                              dtype=dtype)
+        keys = uniq
+    return keys // ncols, keys % ncols, vals

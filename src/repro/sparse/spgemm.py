@@ -24,7 +24,8 @@ import numpy as np
 
 from repro.errors import DimensionMismatch
 from repro.sparse.csr import CSRMatrix, INDEX_DTYPE, PTR_DTYPE, gather_rows
-from repro.sparse.segreduce import segment_reduce
+from repro.sparse.join import cast_values, masked_row_join
+from repro.sparse.segreduce import coo_group_reduce, segment_reduce
 from repro.sparse.semiring_ops import BinaryFn, MonoidFn, SegmentReducer
 
 #: Default cap on the expansion buffer of one SAXPY batch (elements).
@@ -52,7 +53,6 @@ def spgemm_saxpy(
     if A.ncols != B.nrows:
         raise DimensionMismatch(f"inner dimensions differ: {A.ncols} vs {B.nrows}")
     out_dtype = np.dtype(out_dtype)
-    reducer = SegmentReducer(add)
     b_deg = B.row_degrees()
 
     # Partition A's rows into batches whose expansion fits the buffer.  The
@@ -91,11 +91,14 @@ def spgemm_saxpy(
                     else B.values[positions].astype(out_dtype, copy=False)
                 )
                 products = mult.apply(a_vals[seg], b_vals)
-                keys = entry_rows[seg] * np.int64(B.ncols) + cols.astype(np.int64)
-                uniq, inverse = np.unique(keys, return_inverse=True)
-                vals = reducer.reduce(products, inverse, len(uniq), dtype=out_dtype)
-                chunks_rows.append((uniq // B.ncols).astype(np.int64))
-                chunks_cols.append((uniq % B.ncols).astype(INDEX_DTYPE))
+                # Combine duplicate (row, col) contributions: densify/
+                # bincount when the batch's row span affords it, key sort
+                # otherwise (bit-identical either way).
+                r_rows, r_cols, vals = coo_group_reduce(
+                    entry_rows[seg], cols.astype(np.int64), products,
+                    B.ncols, add, dtype=out_dtype)
+                chunks_rows.append(r_rows)
+                chunks_cols.append(r_cols.astype(INDEX_DTYPE))
                 chunks_vals.append(vals)
         row_lo = row_hi
 
@@ -127,60 +130,39 @@ def spgemm_masked_dot(
     ``mask``'s pattern are computed; mask positions whose dot product has no
     contributing pair produce no explicit entry (GraphBLAS semantics).
     Returns ``(C, work)`` where work counts merge comparisons.
+
+    All mask rows are intersected at once through the batched merge-join
+    engine (:mod:`repro.sparse.join`); the operand value casts are hoisted
+    to one whole-array cast per side (the seed re-materialized Bt's values
+    inside its per-row loop — O(nrows * nnz)).
     """
     if A.nrows != mask.nrows or Bt.nrows != mask.ncols:
         raise DimensionMismatch("mask shape must match A.nrows x Bt.nrows")
     out_dtype = np.dtype(out_dtype)
     reducer = SegmentReducer(add)
-    total_work = 0
+    res = masked_row_join(A, Bt, mask)
 
-    all_rows = []
-    all_cols = []
-    all_vals = []
-    for i in range(mask.nrows):
-        mlo, mhi = mask.indptr[i], mask.indptr[i + 1]
-        if mlo == mhi:
-            continue
-        j_list = mask.indices[mlo:mhi].astype(np.int64)
-        a_lo, a_hi = A.indptr[i], A.indptr[i + 1]
-        a_cols = A.indices[a_lo:a_hi]
-        if len(a_cols) == 0:
-            continue
-        cat_cols, cat_pos, seg = gather_rows(Bt, j_list)
-        total_work += len(cat_cols)
-        if len(cat_cols) == 0:
-            continue
-        pos = np.searchsorted(a_cols, cat_cols)
-        pos_clipped = np.minimum(pos, len(a_cols) - 1)
-        matched = a_cols[pos_clipped] == cat_cols
-        if not matched.any():
-            continue
+    if len(res.a_pos):
         a_vals = (
-            np.ones(len(a_cols), dtype=out_dtype)
+            np.ones(len(res.a_pos), dtype=out_dtype)
             if A.values is None
-            else A.values[a_lo:a_hi].astype(out_dtype, copy=False)
+            else cast_values(A.values, out_dtype)[res.a_pos]
         )
         b_vals = (
-            np.ones(Bt.nvals, dtype=out_dtype)
+            np.ones(len(res.b_pos), dtype=out_dtype)
             if Bt.values is None
-            else Bt.values.astype(out_dtype, copy=False)
+            else cast_values(Bt.values, out_dtype)[res.b_pos]
         )
-        products = mult.apply(
-            a_vals[pos_clipped[matched]], b_vals[cat_pos[matched]]
-        )
-        seg_m = seg[matched]
-        vals = reducer.reduce(products, seg_m, len(j_list), dtype=out_dtype)
-        exists = reducer.touched(seg_m, len(j_list))
-        if exists.any():
-            cols_i = j_list[exists]
-            all_rows.append(np.full(len(cols_i), i, dtype=np.int64))
-            all_cols.append(cols_i.astype(INDEX_DTYPE))
-            all_vals.append(vals[exists])
-
-    if all_rows:
-        out_rows = np.concatenate(all_rows)
-        out_cols = np.concatenate(all_cols)
-        out_vals = np.concatenate(all_vals)
+        # Matches arrive pair-major in B-row order — the per-row loops'
+        # order — so this one global reduce accumulates each dot product
+        # in exactly the sequence the per-row reduces did.
+        products = mult.apply(a_vals, b_vals)
+        vals = reducer.reduce(products, res.out_seg, mask.nvals,
+                              dtype=out_dtype, sorted_ids=True)
+        exists = res.hits > 0
+        out_rows = mask.row_ids()[exists]
+        out_cols = mask.indices[exists]
+        out_vals = vals[exists]
     else:
         out_rows = np.empty(0, dtype=np.int64)
         out_cols = np.empty(0, dtype=INDEX_DTYPE)
@@ -188,7 +170,7 @@ def spgemm_masked_dot(
     counts = np.bincount(out_rows, minlength=mask.nrows)
     indptr = np.concatenate(([0], np.cumsum(counts))).astype(PTR_DTYPE)
     C = CSRMatrix(mask.nrows, mask.ncols, indptr, out_cols, out_vals)
-    return C, total_work
+    return C, res.work
 
 
 def spgemm_masked_saxpy(

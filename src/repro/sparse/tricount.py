@@ -12,6 +12,11 @@ behaviour, which is the paper's limitation #2:
 :func:`edge_supports` computes per-edge common-neighbor counts restricted
 to a set of rows and an aliveness filter, which is what the Gauss-Seidel
 Lonestar ktruss needs.
+
+Both kernels are one call into the batched merge-join engine
+(:mod:`repro.sparse.join`) — no per-row Python loop — and report the same
+work/row_work counts the per-row loops they replaced did, so the machine
+model sees identical numbers.
 """
 
 from __future__ import annotations
@@ -20,7 +25,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.sparse.csr import CSRMatrix, gather_rows
+from repro.sparse.csr import CSRMatrix, expand_ranges
+from repro.sparse.join import masked_row_join, row_pair_join
+from repro.sparse.segreduce import segment_reduce
 
 
 def count_triangles_lower(L: CSRMatrix, check_order: bool = True):
@@ -34,24 +41,13 @@ def count_triangles_lower(L: CSRMatrix, check_order: bool = True):
     accounting — Lonestar performs it at runtime where gb-ll's
     preprocessing removed the need (§V-B "tc").
     """
-    total = 0
-    work = 0
-    indptr, indices = L.indptr, L.indices
-    row_work = np.zeros(L.nrows, dtype=np.int64)
-    for i in range(L.nrows):
-        lo, hi = indptr[i], indptr[i + 1]
-        if lo == hi:
-            continue
-        row_i = indices[lo:hi]
-        cat, _, _ = gather_rows(L, row_i.astype(np.int64))
-        work += len(cat)
-        row_work[i] = len(cat)
-        if len(cat) == 0:
-            continue
-        pos = np.searchsorted(row_i, cat)
-        pos = np.minimum(pos, len(row_i) - 1)
-        total += int(np.count_nonzero(row_i[pos] == cat))
-    return total, work, row_work
+    # One batched join, one pair per edge (i, j): intersect row i with
+    # row j.  cand[k] is the gathered length of row j, so row-summing it
+    # reproduces the per-row loop's `len(cat)` work shares exactly.
+    res = masked_row_join(L, L, L)
+    row_work = segment_reduce(res.cand, None, L.nrows, "plus",
+                              dtype=np.int64, row_splits=L.indptr)
+    return int(res.hits.sum()), res.work, row_work
 
 
 def edge_supports(
@@ -67,39 +63,32 @@ def edge_supports(
     entries (0 where dead or not in ``rows``) and ``row_work`` aligns with
     ``rows``.
     """
-    n = csr.nrows
-    indptr, indices = csr.indptr, csr.indices
     supports = np.zeros(csr.nvals, dtype=np.int64)
-    work = 0
-    row_iter = range(n) if rows is None else np.asarray(rows)
-    row_work = np.zeros(len(row_iter) if rows is not None else n,
-                        dtype=np.int64)
-    for k, i in enumerate(row_iter):
-        lo, hi = indptr[i], indptr[i + 1]
-        if lo == hi:
-            continue
-        live_pos = np.flatnonzero(alive[lo:hi]) + lo
-        if len(live_pos) == 0:
-            continue
-        nbrs = indices[live_pos].astype(np.int64)
-        # Gather the (live) adjacency of every live neighbor.
-        cat, cat_positions, seg = gather_rows(csr, nbrs)
-        if len(cat) == 0:
-            continue
-        cat_live = alive[cat_positions]
-        cat = cat[cat_live]
-        seg = seg[cat_live]
-        work += len(cat)
-        row_work[k] = len(cat)
-        if len(cat) == 0:
-            continue
-        # Membership of each gathered neighbor in i's live adjacency.
-        pos = np.searchsorted(nbrs, cat)
-        pos = np.minimum(pos, len(nbrs) - 1)
-        matched = nbrs[pos] == cat
-        counts = np.bincount(seg[matched], minlength=len(nbrs))
-        supports[live_pos] = counts
-    return supports, work, row_work
+    row_arr = (np.arange(csr.nrows, dtype=np.int64) if rows is None
+               else np.asarray(rows, dtype=np.int64))
+    row_work = np.zeros(len(row_arr), dtype=np.int64)
+    # One pair per live entry (i, nbr) of the requested rows: intersect
+    # row i's live adjacency with row nbr's (both sides filtered by
+    # ``alive``, like the per-row loop's pre- and post-gather filters).
+    starts = csr.indptr[row_arr]
+    stops = csr.indptr[row_arr + 1]
+    entry_pos = expand_ranges(starts, stops)
+    if len(entry_pos) == 0:
+        return supports, 0, row_work
+    pair_row = np.repeat(np.arange(len(row_arr), dtype=np.int64),
+                         stops - starts)
+    live = alive[entry_pos]
+    entry_pos = entry_pos[live]
+    pair_row = pair_row[live]
+    if len(entry_pos) == 0:
+        return supports, 0, row_work
+    res = row_pair_join(csr, row_arr[pair_row],
+                        csr, csr.indices[entry_pos].astype(np.int64),
+                        a_keep=alive, b_keep=alive)
+    supports[entry_pos] = res.hits
+    row_work = segment_reduce(res.cand, pair_row, len(row_arr), "plus",
+                              dtype=np.int64, sorted_ids=True)
+    return supports, res.work, row_work
 
 
 def twin_positions(csr: CSRMatrix) -> np.ndarray:

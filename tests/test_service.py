@@ -370,6 +370,23 @@ class TestSupervisorDrills:
         assert results[("SS", "bfs", GRAPH)].status == OK
         assert supervisor.stats["crashes"] >= 1
 
+    def test_prewarm_runs_before_cells_and_keeps_identity(
+            self, isolated_grid):
+        baseline = sequential_baseline(apps=("bfs",))
+
+        supervisor = Supervisor(grid_tasks([GRAPH], ["bfs"]), workers=2,
+                                config=FAST)
+        results = supervisor.run()
+
+        # Every worker prewarms each graph that still has pending cells
+        # exactly once before accepting its first cell, so a worker's
+        # first cell deadline never includes dataset generation time.
+        assert supervisor.stats["prewarmed"] >= 1
+        assert supervisor.stats["prewarmed"] <= 2  # workers x graphs
+        assert "prewarmed" in supervisor.describe()
+        assert all(r.status == OK for r in results.values())
+        assert snapshot_bytes() == baseline
+
     def test_forced_open_breaker_reroutes_with_degraded_flag(
             self, isolated_grid):
         config = ServiceConfig(heartbeat_interval=0.05,
