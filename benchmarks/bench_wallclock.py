@@ -29,7 +29,15 @@ What is measured, per pattern the engine replaced:
   the ``row_splits`` reduceat plan that CSR ``indptr`` enables.
 * ``pagerank_rmat16`` — end-to-end sanity: the lonestar pagerank kernel on
   an rmat scale-16 graph (~65k vertices, ~1M directed edges), engine path
-  vs the same rounds with the seed's per-call idioms inlined.
+  vs the same rounds with the seed's per-call idioms inlined.  The section
+  also carries the GraphBLAS engine path fused vs unfused
+  (``engine_fused_ms`` / ``engine_unfused_ms`` / ``speedup``, floor-asserted
+  1.5x full, 1.1x ``--quick``) from the fused-pipeline sweep below.
+* ``fused_pipeline`` — the :mod:`repro.graphblas.pipeline` fusion layer on
+  the rewired LAGraph drivers (pagerank/bfs/sssp, rmat scale-16), fused vs
+  plain per-call execution with bit-identical results, plus the
+  steady-state plan-cache hit rate (asserted > 0.9) and the fusion
+  counters over the timed runs.
 
 And, per pattern the merge-join engine (:mod:`repro.sparse.join`)
 replaced — each against a retained copy of the seed's per-row loop, on a
@@ -209,6 +217,86 @@ def bench_pagerank(iters=5):
         "baseline_ms": round(best_of(baseline_rounds, repeats=3), 3),
         "engine_ms": round(best_of(engine, repeats=3), 3),
     }
+
+
+def bench_fused_pipeline(quick):
+    """Fused driver chains vs the plain per-call GraphBLAS path.
+
+    Runs the three rewired LAGraph drivers on one backend/graph twice —
+    fusion on and off — asserting the answers are bit-identical, and
+    reports the wall-clock per mode.  The plan-cache and fusion counters
+    are reset after the fused warmup so the reported hit rate reflects
+    steady-state iterations only.
+    """
+    import repro.graphblas as gb
+    from repro.galoisblas import GaloisBLASBackend
+    from repro.graphblas import pipeline
+    from repro.graphs.generators import rmat
+    from repro.lagraph import bfs, delta_stepping, pagerank_gb_res
+    from repro.perf.machine import Machine
+    from repro.sparse import plancache
+    from repro.sparse.csr import CSRMatrix, build_csr
+
+    scale, iters = 16, 10
+    n, src, dst = rmat(scale)
+    csr = build_csr(n, n, src, dst, None)
+    rng = np.random.default_rng(7)
+    wvals = rng.integers(1, 64, csr.nvals).astype(np.int64)
+    wcsr = CSRMatrix(n, n, csr.indptr, csr.indices, wvals)
+
+    backend = GaloisBLASBackend(Machine())
+    A = gb.Matrix.from_csr(backend, gb.BOOL, csr, label="bench:A")
+    Aw = gb.Matrix.from_csr(backend, gb.INT64, wcsr, label="bench:Aw")
+    # The CSC view is built lazily on first use and cached on the Matrix;
+    # build it off the clock so both modes time steady-state iterations.
+    A.transposed_csr()
+    Aw.transposed_csr()
+
+    apps = {
+        "pagerank": lambda: pagerank_gb_res(backend, A, iters=iters),
+        "bfs": lambda: bfs(backend, A, 0),
+        "sssp": lambda: delta_stepping(backend, Aw, 0, delta=32),
+    }
+    repeats = 2 if quick else 3
+
+    def run_all(fused):
+        prev = pipeline.set_enabled(fused)
+        try:
+            # Warmup pass (also the answer used for the equality check).
+            answers = {name: fn().dense_values() for name, fn in apps.items()}
+            if fused:
+                plancache.reset_stats()
+                pipeline.reset_fusion_stats()
+            times = {name: best_of(fn, repeats=repeats)
+                     for name, fn in apps.items()}
+            return times, answers
+        finally:
+            pipeline.set_enabled(prev)
+
+    unfused_ms, unfused_ans = run_all(False)
+    fused_ms, fused_ans = run_all(True)
+    for name in apps:
+        assert np.array_equal(unfused_ans[name], fused_ans[name]), \
+            f"fused {name} diverged from the per-call path"
+
+    hit_rate = plancache.hit_rate()
+    section = {
+        "graph": f"rmat{scale}",
+        "nnodes": int(n),
+        "nedges": int(csr.nvals),
+        "pagerank_iters": iters,
+        "plan_cache_hit_rate": (None if hit_rate is None
+                                else round(hit_rate, 4)),
+        "plan_cache": plancache.plan_cache_stats(),
+        "fusion": pipeline.fusion_stats(),
+    }
+    for name in apps:
+        section[name] = {
+            "unfused_ms": round(unfused_ms[name], 3),
+            "fused_ms": round(fused_ms[name], 3),
+            "speedup": round(unfused_ms[name] / fused_ms[name], 2),
+        }
+    return section
 
 
 # ----------------------------------------------------------------------
@@ -461,10 +549,19 @@ def main(argv=None):
         "push_accumulate_1m": bench_push_accumulate(rng),
         "row_reduce_1m": bench_row_reduce(rng),
         "pagerank_rmat16": bench_pagerank(),
+        "fused_pipeline": bench_fused_pipeline(args.quick),
         "masked_dot_tc": bench_masked_dot(L),
         "tricount_lower": bench_tricount(L),
         "ktruss_supports": bench_ktruss_supports(sym),
     }
+    # The GraphBLAS engine path on the same rmat16 graph, fused vs
+    # unfused, lives with the pagerank section (and its floor below).
+    report["pagerank_rmat16"]["engine_unfused_ms"] = \
+        report["fused_pipeline"]["pagerank"]["unfused_ms"]
+    report["pagerank_rmat16"]["engine_fused_ms"] = \
+        report["fused_pipeline"]["pagerank"]["fused_ms"]
+    report["pagerank_rmat16"]["speedup"] = \
+        report["fused_pipeline"]["pagerank"]["speedup"]
     report["total_bench_seconds"] = round(time.perf_counter() - t0, 1)
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -476,6 +573,14 @@ def main(argv=None):
         ratio = report[section]["speedup_vs_per_row"]
         assert ratio >= floor, \
             f"{section} speedup {ratio}x below the {floor}x floor"
+    pr_floor = 1.1 if args.quick else 1.5
+    pr_speedup = report["pagerank_rmat16"]["speedup"]
+    assert pr_speedup >= pr_floor, \
+        f"fused pagerank speedup {pr_speedup}x below the {pr_floor}x floor"
+    hit_rate = report["fused_pipeline"]["plan_cache_hit_rate"]
+    if hit_rate is not None:
+        assert hit_rate > 0.9, \
+            f"steady-state plan-cache hit rate {hit_rate} not above 0.9"
 
 
 if __name__ == "__main__":

@@ -45,6 +45,11 @@ class TraceSummary:
     items: int = 0
     flops: int = 0
     bytes_materialized: int = 0
+    #: Events executed on a fused path (modeled continuations of the
+    #: galoisblas-fused ablation, or wall-clock fused pipeline stages).
+    fused_ops: int = 0
+    #: Intermediate bytes those fused events skipped materializing.
+    bytes_not_materialized: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
 
@@ -56,6 +61,7 @@ def summarize(events: Iterable[OpEvent]) -> TraceSummary:
     ``round`` events the context appends on every ``Runtime.round()``.
     """
     loops = barriers = rounds = items = flops = bytes_mat = 0
+    fused_ops = bytes_skipped = 0
     by_kind: Dict[str, int] = {}
     for event in events:
         by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
@@ -63,13 +69,18 @@ def summarize(events: Iterable[OpEvent]) -> TraceSummary:
         items += event.items
         flops += event.flops
         bytes_mat += event.bytes_materialized
+        if event.fused:
+            fused_ops += 1
+            bytes_skipped += event.bytes_not_materialized
         if event.barrier:
             barriers += 1
         if event.kind == "round":
             rounds += 1
     return TraceSummary(loops=loops, barriers=barriers, rounds=rounds,
                         items=items, flops=flops,
-                        bytes_materialized=bytes_mat, by_kind=by_kind)
+                        bytes_materialized=bytes_mat, fused_ops=fused_ops,
+                        bytes_not_materialized=bytes_skipped,
+                        by_kind=by_kind)
 
 
 @dataclass(frozen=True)
@@ -146,7 +157,8 @@ def differential_table(graphs: Sequence[str],
     counters on every contributing cell.
     """
     header = (f"{'app':<8}{'loops GB/LS':>14}{'bytes GB/LS':>14}"
-              f"{'items GB/LS':>14}{'rounds GB/LS':>14}  crosscheck")
+              f"{'items GB/LS':>14}{'rounds GB/LS':>14}{'fused GB':>10}"
+              f"  crosscheck")
     lines = ["Differential analysis derived from the op-event trace",
              f"graphs: {', '.join(graphs)}", "", header,
              "-" * len(header)]
@@ -154,6 +166,8 @@ def differential_table(graphs: Sequence[str],
         ratios = {metric: [] for metric in ATTRIBUTION}
         problems: List[str] = []
         skipped: List[str] = []
+        fused_cells: List[str] = []
+        fused_total = 0
         for graph in graphs:
             try:
                 # A cell the modeled machine cannot run (OOM, the same
@@ -168,6 +182,14 @@ def differential_table(graphs: Sequence[str],
                 ratios[metric].append(_ratio(
                     getattr(gb.summary, metric),
                     getattr(ls.summary, metric)))
+            for cell in (gb, ls):
+                fused_total += cell.summary.fused_ops
+                if cell.summary.fused_ops:
+                    fused_cells.append(
+                        f"{cell.system}/{graph}: "
+                        f"{cell.summary.fused_ops} fused ops, "
+                        f"{cell.summary.bytes_not_materialized:,} B "
+                        f"not materialized")
         verdict = "ok" if not problems else f"{len(problems)} MISMATCH"
         if skipped:
             verdict += f" [skipped: {', '.join(skipped)}]"
@@ -177,7 +199,9 @@ def differential_table(graphs: Sequence[str],
             f"{_geomean(ratios['bytes_materialized']):>13.2f}x"
             f"{_geomean(ratios['items']):>13.2f}x"
             f"{_geomean(ratios['rounds']):>13.2f}x"
+            f"{fused_total:>10}"
             f"  {verdict}")
+        lines += [f"  fused: {c}" for c in fused_cells]
         lines += [f"  ! {p}" for p in problems]
     lines += ["", "attribution key:"]
     lines += [f"  {metric:<20} -> {meaning}"

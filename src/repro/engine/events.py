@@ -46,7 +46,8 @@ _METHODS = ("", "saxpy", "dot")
 
 #: Fields validated as non-negative counts.
 _COUNT_FIELDS = ("items", "flops", "bytes_materialized", "loops",
-                 "round_id", "in_nvals", "out_nvals", "mask_bytes")
+                 "round_id", "in_nvals", "out_nvals", "mask_bytes",
+                 "bytes_not_materialized")
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,14 @@ class OpEvent:
     out_nvals: int = 0
     #: Dense footprint of the mask consulted per candidate (0 unmasked).
     mask_bytes: int = 0
+    #: Executed on a fused path: either a modeled continuation of the
+    #: previous loop (the galoisblas-fused ablation backend) or a stage of
+    #: the wall-clock fused pipeline (numpy data movement skipped; modeled
+    #: charges unchanged).
+    fused: bool = False
+    #: Bytes of intermediate storage the fused execution did not write and
+    #: re-read (wall-clock attribution only; 0 for unfused operations).
+    bytes_not_materialized: int = 0
 
     def __post_init__(self):
         if self.kind not in OP_KINDS:

@@ -23,6 +23,8 @@ that compiler technology addresses only limitations (i) and (ii).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.galoisblas.backend import GaloisBLASBackend
 from repro.graphblas.backend import INSTR_PER_ELEM
 from repro.perf.costmodel import Schedule
@@ -69,7 +71,12 @@ class FusedGaloisBLASBackend(GaloisBLASBackend):
                     fixed_ns=0.0,
                 )
             finally:
-                recorded = ctx.close_span(event)
+                # Stamp the continuation so trace analysis can count fused
+                # calls and the intermediate bytes the fusion skipped.
+                recorded = ctx.close_span(replace(
+                    event, fused=True,
+                    bytes_not_materialized=self._materialized_bytes(event,
+                                                                    out)))
             return recorded
         recorded = super().emit(event, out, mat=mat, mat2=mat2,
                                 weights=weights)

@@ -632,7 +632,8 @@ def reduce_to_vector(
     reducer = SegmentReducer(mon.fn)
     # Row expansions are sorted by construction: presorted reduceat path.
     t_vals = reducer.reduce(csr.value_array(w.type.dtype), rows, csr.nrows,
-                            dtype=w.type.dtype, row_splits=csr.indptr)
+                            dtype=w.type.dtype, row_splits=csr.indptr,
+                            cache_on=csr)
     t_present = csr.row_degrees() > 0
     allowed = _mask_allowed(mask, w.size, desc)
     _write_back(w, t_vals, t_present, allowed, accum, desc.replace)

@@ -14,6 +14,7 @@ import numpy as np
 import repro.graphblas as gb
 from repro.graphblas.descriptor import REPLACE_COMP
 from repro.graphblas.ops import LOR_LAND
+from repro.graphblas.pipeline import FusedPipeline
 
 
 def bfs(backend, A: gb.Matrix, source: int) -> gb.Vector:
@@ -27,23 +28,29 @@ def bfs(backend, A: gb.Matrix, source: int) -> gb.Vector:
     frontier = gb.Vector(backend, gb.BOOL, n,
                          rep=_frontier_rep(backend, n), label="bfs:frontier")
 
+    # The assign -> vxm round body runs fused: the masked writes happen in
+    # place instead of through fresh dense temporaries, with identical
+    # results and identical op events.
+    pipe = FusedPipeline(backend)
+
     # dist = 0 everywhere (make the vector dense) — Algorithm 2 line 6.
-    gb.assign(dist, 0)
+    pipe.assign(dist, 0)
     # frontier = {source} — line 8.
     frontier.set_element(source, True)
     level = 1
 
     while True:
-        backend.runtime.round()
+        pipe.round()
         # Pass 1: assign the current level to frontier vertices (lines 11-12).
-        gb.assign(dist, level, mask=frontier)
+        pipe.assign(dist, level, mask=frontier)
         # Pass 2: emptiness check (lines 13-16).
         if frontier.nvals == 0:
             break
         level += 1
         # Pass 3: next frontier = frontier x A under the complement of the
         # visited set (lines 17-19); visited vertices have dist != 0.
-        gb.vxm(frontier, frontier, A, LOR_LAND, mask=dist, desc=REPLACE_COMP)
+        pipe.vxm(frontier, frontier, A, LOR_LAND, mask=dist,
+                 desc=REPLACE_COMP)
         if level > n + 1:
             break  # safety net; cannot trigger on a correct graph
     return dist

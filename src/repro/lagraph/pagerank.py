@@ -30,6 +30,7 @@ import numpy as np
 import repro.graphblas as gb
 from repro.engine.events import OpEvent
 from repro.graphblas.ops import PLUS_FIRST, PLUS_TIMES, binary, monoid
+from repro.graphblas.pipeline import FusedPipeline
 
 _PLUS = binary("plus")
 _TIMES = binary("times")
@@ -97,19 +98,23 @@ def pagerank_gb_res(backend, A: gb.Matrix, iters: int = 10,
     res = pr.dup(label="pr:residual")
 
     contrib = gb.Vector(backend, gb.FP64, n, label="pr:contrib")
+    # The whole round body is one fusable chain (ewise -> apply -> vxm):
+    # the pipeline runs it without materializing the per-call dense
+    # temporaries while emitting the exact same op events.
+    pipe = FusedPipeline(backend)
     for it in range(iters):
-        backend.runtime.round()
+        pipe.round()
         if it > 0:
             # Call 1: pr += res  (first pass over the residual vector).
-            gb.eWiseAdd(pr, pr, res, monoid("plus"))
+            pipe.ewise_add(pr, pr, res, monoid("plus"))
         # Call 2: contrib = alpha * res / outdeg  (second pass; the
         # multiply-by-outdegree the paper counts as a separate call).
-        gb.eWiseMult(contrib, res, outdeg, binary("div"))
-        gb.apply(contrib, binary("times").bind_first(damping), contrib)
+        pipe.ewise_mult(contrib, res, outdeg, binary("div"))
+        pipe.apply(contrib, binary("times").bind_first(damping), contrib)
         # Call 3: res' = contrib' x A (push contributions along edges).
-        gb.vxm(res, contrib, A, PLUS_FIRST)
-        _densify(res)
-    gb.eWiseAdd(pr, pr, res, monoid("plus"))
+        pipe.vxm(res, contrib, A, PLUS_FIRST)
+        pipe.densify(res)
+    pipe.ewise_add(pr, pr, res, monoid("plus"))
     return pr
 
 

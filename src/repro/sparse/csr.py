@@ -26,7 +26,7 @@ class CSRMatrix:
     """A sparse matrix in CSR form with sorted, deduplicated rows."""
 
     __slots__ = ("nrows", "ncols", "indptr", "indices", "values",
-                 "_row_ids", "_degrees")
+                 "_row_ids", "_degrees", "_plan_cache")
 
     def __init__(self, nrows, ncols, indptr, indices, values=None):
         self.nrows = int(nrows)
@@ -35,9 +35,11 @@ class CSRMatrix:
         self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
         self.values = None if values is None else np.ascontiguousarray(values)
         # Structural-metadata memo (numpy-level artifacts only: these never
-        # appear in the machine model's memory accounting).
+        # appear in the machine model's memory accounting).  ``_plan_cache``
+        # holds the kernel plan memos of repro.sparse.plancache.
         self._row_ids: Optional[np.ndarray] = None
         self._degrees: Optional[np.ndarray] = None
+        self._plan_cache: Optional[dict] = None
         if len(self.indptr) != self.nrows + 1:
             raise DimensionMismatch(
                 f"indptr length {len(self.indptr)} != nrows+1 ({self.nrows + 1})"
@@ -85,6 +87,20 @@ class CSRMatrix:
             )
             self._row_ids.setflags(write=False)
         return self._row_ids
+
+    def invalidate_memos(self) -> None:
+        """Drop the structural memos and every cached kernel plan.
+
+        The library never mutates ``indptr``/``indices`` of a live matrix
+        (transformations build new objects), but tooling and tests that do
+        must call this so structure-derived plans cannot be replayed
+        against the new structure.
+        """
+        from repro.sparse import plancache
+
+        plancache.drop(self)
+        self._row_ids = None
+        self._degrees = None
 
     def row(self, i: int):
         """(columns, values) of row ``i``; values is None for pattern."""

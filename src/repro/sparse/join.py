@@ -41,6 +41,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import DimensionMismatch, InvalidValue
+from repro.sparse import plancache
 from repro.sparse.csr import CSRMatrix, expand_ranges, gather_rows
 
 #: Cap on the gathered candidate buffer of one join batch (elements).
@@ -104,6 +105,13 @@ def _empty_result(n_pairs: int) -> JoinResult:
                       empty, np.zeros(n_pairs, dtype=np.int64), 0)
 
 
+def _hoisted_keys(A: CSRMatrix, col_mult: np.int64) -> np.ndarray:
+    """The full sorted composite-key array of A (read-only, memoizable)."""
+    keys = A.row_ids() * col_mult + A.indices
+    keys.setflags(write=False)
+    return keys
+
+
 def row_pair_join(
     A: CSRMatrix,
     a_rows: np.ndarray,
@@ -160,10 +168,14 @@ def row_pair_join(
     # Hoist the A-side composite keys once per call.  CSR entries sorted by
     # (row, col) make `row * ncols + col` globally ascending, so any row
     # span maps to one sorted contiguous slice; `key_ptr` translates row
-    # ids to slice offsets (compacted when a_keep drops entries).
+    # ids to slice offsets (compacted when a_keep drops entries).  The
+    # unfiltered key array is a pure function of A's structure, so it is
+    # memoized on A across calls (triangle counting joins the same L per
+    # batch; pagerank-style loops rejoin the same matrix per round).
     col_mult = np.int64(A.ncols)
     if a_keep is None:
-        keys_a = A.row_ids() * col_mult + A.indices
+        keys_a = plancache.cached(A, "join_keys", (),
+                                  lambda: _hoisted_keys(A, col_mult))
         a_entry_of = None  # keys_a position == global entry position
         key_ptr = A.indptr
     else:
@@ -171,6 +183,16 @@ def row_pair_join(
         keys_a = (A.row_ids()[a_entry_of] * col_mult
                   + A.indices[a_entry_of].astype(np.int64))
         key_ptr = np.searchsorted(a_entry_of, A.indptr)
+
+    # Sticky merge/densify decision: the first adaptive call on A records
+    # the majority of its per-batch choices; later calls with the same
+    # configuration replay it without re-deriving the batch statistics.
+    # Both plans produce identical outputs (module invariant), so the
+    # sticky replay — like an explicit ``plan`` — can never change results.
+    plan_key = (a_keep is None, b_keep is None, int(batch_flops))
+    forced = plan if plan is not None else plancache.get(A, "join_plan",
+                                                         plan_key)
+    batch_choices = [] if forced is None else None
 
     hits = np.zeros(n_pairs, dtype=np.int64)
     cand = np.zeros(n_pairs, dtype=np.int64)
@@ -213,12 +235,18 @@ def row_pair_join(
         ent_hi = int(key_ptr[row_hi + 1])
         key_slice = keys_a[ent_lo:ent_hi]
         table_elems = (row_hi - row_lo + 1) * A.ncols
-        if plan is not None:
-            densify = plan == "densify"
+        if forced is not None:
+            densify = forced == "densify"
         else:
             densify = (table_elems <= DENSIFY_TABLE_BUDGET
                        and table_elems <= 4 * (len(cand_keys)
                                                + len(key_slice)))
+            batch_choices.append(densify)
+        # A cache-replayed densify must still respect the table budget (a
+        # later call may cover a wider row span than the deciding one); an
+        # explicit caller ``plan`` keeps its forced choice.
+        if densify and plan is None and table_elems > DENSIFY_TABLE_BUDGET:
+            densify = False
         base = np.int64(row_lo) * col_mult
         if densify:
             table = np.full(table_elems, -1, dtype=np.int64)
@@ -240,6 +268,11 @@ def row_pair_join(
             seg_chunks.append(act_idx[lo + seg_m])
             hits[act_idx[lo:hi]] = np.bincount(seg_m, minlength=hi - lo)
         lo = hi
+
+    if batch_choices:
+        majority = ("densify" if 2 * sum(batch_choices) >= len(batch_choices)
+                    else "merge")
+        plancache.put(A, "join_plan", plan_key, majority)
 
     if a_chunks:
         a_pos = np.concatenate(a_chunks)

@@ -1,0 +1,160 @@
+"""Per-graph kernel plan cache keyed on CSR structural memos.
+
+The kernel engines re-derive their execution plan on every call from
+dtype/sortedness/degree statistics: :func:`repro.sparse.segreduce.segment_reduce`
+walks its monoid/dtype branch chain, and :func:`repro.sparse.join.row_pair_join`
+re-materializes its hoisted composite keys and re-decides merge-vs-densify
+per batch.  Steady-state iterative algorithms (PageRank, BFS, SSSP rounds)
+call the same kernel on the same matrix thousands of times, so the plan —
+a pure function of the matrix structure and the (kernel, monoid, dtype)
+signature — never changes after the first call.
+
+This module memoizes those decisions *on the matrix itself*, in the same
+numpy-level structural-memo family as ``CSRMatrix.row_degrees()`` /
+``row_ids()``: a ``_plan_cache`` dict living in a slot on the host CSR.
+Cached plans never appear in the machine model's memory accounting, and a
+cache hit can never change results — every cached value is a pure function
+of structure that the deriving code would recompute identically (the
+tier-1 suite runs with ``REPRO_PLAN_CACHE=0`` in CI to prove it).
+
+Import-order note: :mod:`repro.sparse.csr` imports ``segreduce`` which
+imports this module, so this module imports neither — hosts are duck-typed
+on the ``_plan_cache`` slot.
+
+Knobs:
+
+* ``REPRO_PLAN_CACHE=0`` disables all lookups (plans re-derived per call);
+* ``REPRO_PLAN_CACHE_STATS=1`` makes ``repro-study`` print the per-kernel
+  hit/miss summary (:func:`summary_line`) to stderr.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "cached", "get", "put", "drop", "enabled", "set_enabled",
+    "plan_cache_stats", "reset_stats", "hit_rate", "summary_line",
+]
+
+_ENABLED = os.environ.get("REPRO_PLAN_CACHE", "1") != "0"
+
+#: Per-kernel lookup bookkeeping: kernel -> {"hits", "misses", "entries"}.
+_STATS: Dict[str, Dict[str, int]] = {}
+
+
+def enabled() -> bool:
+    """Whether lookups are live (REPRO_PLAN_CACHE, overridable per run)."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Force the cache on/off at runtime; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+def _bucket(kernel: str) -> Dict[str, int]:
+    bucket = _STATS.get(kernel)
+    if bucket is None:
+        bucket = _STATS[kernel] = {"hits": 0, "misses": 0, "entries": 0}
+    return bucket
+
+
+def get(host, kernel: str, key):
+    """The cached value for ``(kernel, key)`` on ``host``, or None.
+
+    Counts one hit or miss per call.  ``host`` is anything carrying a
+    ``_plan_cache`` slot (a :class:`~repro.sparse.csr.CSRMatrix`); a None
+    host always misses without touching the stats, so call sites can pass
+    optional hosts unconditionally.  A slot-less host counts a regular
+    miss (indistinguishable from a host whose slot is still empty).
+    """
+    if not _ENABLED or host is None:
+        return None
+    cache = getattr(host, "_plan_cache", None)
+    if cache is None:
+        _bucket(kernel)["misses"] += 1
+        return None
+    value = cache.get((kernel, key))
+    if value is None:
+        _bucket(kernel)["misses"] += 1
+        return None
+    _bucket(kernel)["hits"] += 1
+    return value
+
+
+def put(host, kernel: str, key, value) -> None:
+    """Store ``value`` for ``(kernel, key)`` on ``host`` (no-op if disabled)."""
+    if not _ENABLED or host is None or value is None:
+        return
+    if not hasattr(host, "_plan_cache"):
+        return
+    cache = host._plan_cache
+    if cache is None:
+        cache = host._plan_cache = {}
+    if (kernel, key) not in cache:
+        _bucket(kernel)["entries"] += 1
+    cache[(kernel, key)] = value
+
+
+def cached(host, kernel: str, key, derive: Callable):
+    """Memoized ``derive()`` keyed by ``(kernel, key)`` on ``host``.
+
+    The one-liner most call sites want: a hit returns the stored plan, a
+    miss derives, stores and returns it.  With the cache disabled (or a
+    host that cannot cache) every call derives fresh — byte-identical by
+    construction, since ``derive`` is a pure function of structure.
+    """
+    value = get(host, kernel, key)
+    if value is not None:
+        return value
+    value = derive()
+    put(host, kernel, key, value)
+    return value
+
+
+def drop(host) -> None:
+    """Forget every plan cached on ``host`` (structural invalidation)."""
+    cache = getattr(host, "_plan_cache", None)
+    if cache:
+        for kernel, _key in cache:
+            _bucket(kernel)["entries"] -= 1
+    if cache is not None:
+        host._plan_cache = None
+
+
+def plan_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Per-kernel ``{"hits", "misses", "entries"}`` since the last reset."""
+    return {kernel: dict(bucket) for kernel, bucket in sorted(_STATS.items())}
+
+
+def reset_stats() -> None:
+    """Zero the bookkeeping (benchmarks isolate their steady-state rate)."""
+    _STATS.clear()
+
+
+def hit_rate() -> Optional[float]:
+    """Aggregate hits / lookups across kernels, or None with no lookups."""
+    hits = sum(b["hits"] for b in _STATS.values())
+    lookups = hits + sum(b["misses"] for b in _STATS.values())
+    if lookups == 0:
+        return None
+    return hits / lookups
+
+
+def summary_line() -> str:
+    """One-line per-kernel summary for the REPRO_PLAN_CACHE_STATS report."""
+    if not _ENABLED:
+        return "plan-cache: disabled (REPRO_PLAN_CACHE=0)"
+    if not _STATS:
+        return "plan-cache: no lookups"
+    parts = []
+    for kernel, bucket in sorted(_STATS.items()):
+        lookups = bucket["hits"] + bucket["misses"]
+        parts.append(f"{kernel} {bucket['hits']}/{lookups} hits, "
+                     f"{bucket['entries']} entries")
+    return "plan-cache: " + "; ".join(parts)

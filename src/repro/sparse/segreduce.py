@@ -45,9 +45,14 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.errors import IndexOutOfBounds, InvalidValue
+from repro.sparse import plancache
 
 #: Monoid kinds the engine understands (the study's semiring "add" set).
 MONOID_KINDS = ("plus", "times", "min", "max", "lor", "land")
+
+#: Execution plans :func:`select_plan` can pick, in dispatch precedence.
+SEGREDUCE_PLANS = ("bincount_f64", "add_at_float", "bincount_lor",
+                   "reduceat_splits", "reduceat_sorted", "scatter_at")
 
 #: The reduceat/at ufunc per monoid kind.  ``land`` reduces with minimum and
 #: ``lor`` with maximum over the identity-filled output, matching the seed's
@@ -120,6 +125,34 @@ def _reduceat_dense(
     return out
 
 
+def select_plan(kind: str, dtype, sorted_ids: bool,
+                has_row_splits: bool) -> str:
+    """Pick the execution plan for one (monoid, dtype, sortedness) shape.
+
+    The branch precedence is load-bearing for bit-identity — plus/float
+    and lor claim their plans *before* the presorted reduceat hints are
+    consulted (reduceat's blocked accumulation rounds float sums
+    differently; see the module docstring).  The choice is a pure function
+    of this signature, which is what makes it cacheable per matrix.
+    """
+    dtype = np.dtype(dtype)
+    if kind == "plus" and dtype.kind == "f":
+        # bincount accumulates in array order — bit-identical to the
+        # sequential np.add.at loop, unlike reduceat's blocked sums.
+        # Narrower floats must round after *every* addition to match the
+        # np.add.at loops they replace; bincount's float64 accumulator and
+        # reduceat's blocked sums both round differently, so the sequential
+        # indexed scatter is the only bit-identical plan for them.
+        return "bincount_f64" if dtype == np.float64 else "add_at_float"
+    if kind == "lor":
+        return "bincount_lor"
+    if has_row_splits:
+        return "reduceat_splits"
+    if sorted_ids:
+        return "reduceat_sorted"
+    return "scatter_at"
+
+
 def segment_reduce(
     values: np.ndarray,
     segment_ids: Optional[np.ndarray],
@@ -128,6 +161,7 @@ def segment_reduce(
     dtype=None,
     sorted_ids: bool = False,
     row_splits: Optional[np.ndarray] = None,
+    cache_on=None,
 ) -> np.ndarray:
     """Reduce ``values`` grouped by ``segment_ids`` into a dense vector.
 
@@ -139,6 +173,11 @@ def segment_reduce(
     ``n_segments + 1``) when the grouping boundaries are already known —
     both skip the scatter entirely.  ``segment_ids`` may be None when
     ``row_splits`` fully describes the grouping.
+
+    ``cache_on`` (a :class:`~repro.sparse.csr.CSRMatrix` or any plan-cache
+    host) memoizes the plan choice per (monoid, dtype, sortedness) so
+    steady-state iterations skip :func:`select_plan`; the cache key fully
+    determines the plan, so a hit cannot change the execution path.
     """
     values = np.asarray(values)
     if segment_ids is not None:
@@ -150,6 +189,11 @@ def segment_reduce(
     identity = identity_for(kind, dtype)
     if len(values) == 0 or n_segments == 0:
         return np.full(n_segments, identity, dtype=dtype)
+
+    has_splits = row_splits is not None
+    plan = plancache.cached(
+        cache_on, "segreduce", (kind, dtype.str, bool(sorted_ids), has_splits),
+        lambda: select_plan(kind, dtype, sorted_ids, has_splits))
 
     def ids():
         # Materialized only by the bincount plans; derived from row_splits
@@ -168,22 +212,21 @@ def segment_reduce(
                 f"segment id out of range for {n_segments} segments")
         return counts
 
-    if kind == "plus" and dtype.kind == "f":
-        if dtype == np.float64:
-            # bincount accumulates in array order — bit-identical to the
-            # sequential np.add.at loop, unlike reduceat's blocked sums.
-            return _checked(np.bincount(ids(),
-                                        weights=values.astype(np.float64),
-                                        minlength=n_segments))
-        # Narrower floats must round after *every* addition to match the
-        # np.add.at loops they replace; bincount's float64 accumulator and
-        # reduceat's blocked sums both round differently, so the sequential
-        # indexed scatter is the only bit-identical plan.
+    if plan == "bincount_f64":
+        # copy=False: bincount only reads the weights, and float64 inputs
+        # (the steady-state SpMV case) otherwise pay a full nvals-sized
+        # copy on every call.
+        return _checked(np.bincount(ids(),
+                                    weights=values.astype(np.float64,
+                                                          copy=False),
+                                    minlength=n_segments))
+
+    if plan == "add_at_float":
         out = np.full(n_segments, identity, dtype=dtype)
         np.add.at(out, ids(), values.astype(dtype, copy=False))
         return out
 
-    if kind == "lor":
+    if plan == "bincount_lor":
         # "Any nonzero value in the segment": count nonzeros per segment.
         out = _checked(np.bincount(ids()[np.asarray(values, dtype=bool)],
                                    minlength=n_segments)) > 0
@@ -192,7 +235,7 @@ def segment_reduce(
     ufunc = _UFUNC[kind]
     vals = values.astype(dtype, copy=False)
 
-    if row_splits is not None:
+    if plan == "reduceat_splits":
         starts = np.asarray(row_splits[:-1], dtype=np.int64)
         nonempty = np.flatnonzero(row_splits[1:] > starts)
         # reduceat over only the nonempty starts: empty runs contribute no
@@ -200,7 +243,7 @@ def segment_reduce(
         return _reduceat_dense(ufunc, vals, starts[nonempty], nonempty,
                                n_segments, identity, dtype)
 
-    if sorted_ids:
+    if plan == "reduceat_sorted":
         starts = segment_starts(segment_ids)
         return _reduceat_dense(ufunc, vals, starts, segment_ids[starts],
                                n_segments, identity, dtype)
@@ -244,6 +287,7 @@ def group_reduce(
     n_keys: int,
     monoid: Union[str, object],
     dtype=None,
+    cache_on=None,
 ):
     """Reduce by (possibly huge-ranged) keys densified to ``[0, n_keys)``.
 
@@ -256,7 +300,8 @@ def group_reduce(
     passes suffice.
     """
     keys = np.asarray(keys)
-    dense = segment_reduce(values, keys, n_keys, monoid, dtype=dtype)
+    dense = segment_reduce(values, keys, n_keys, monoid, dtype=dtype,
+                           cache_on=cache_on)
     touched = np.flatnonzero(np.bincount(keys, minlength=n_keys)[:n_keys])
     return touched, dense[touched]
 

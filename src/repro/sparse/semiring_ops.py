@@ -133,17 +133,20 @@ class SegmentReducer:
         dtype=None,
         sorted_ids: bool = False,
         row_splits=None,
+        cache_on=None,
     ) -> np.ndarray:
         """Dense output of length ``n_segments``; identity where no values.
 
         ``segment_ids`` need not be sorted; the ``sorted_ids`` /
         ``row_splits`` hints unlock the engine's presorted reduceat plans.
         Delegates to :func:`repro.sparse.segreduce.segment_reduce`, which
-        picks the fastest plan per monoid/dtype.
+        picks the fastest plan per monoid/dtype — memoized on ``cache_on``
+        (the source matrix) when given.
         """
         return segment_reduce(values, segment_ids, n_segments,
                               self.monoid.kind, dtype=dtype,
-                              sorted_ids=sorted_ids, row_splits=row_splits)
+                              sorted_ids=sorted_ids, row_splits=row_splits,
+                              cache_on=cache_on)
 
     def touched(self, segment_ids: np.ndarray, n_segments: int) -> np.ndarray:
         """Boolean array marking segments that received at least one value."""

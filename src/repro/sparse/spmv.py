@@ -45,7 +45,7 @@ def spmv_pull(
     # CSR entries are grouped by row, so indptr doubles as the reduction's
     # segment boundaries — the presorted fast path.
     y = reducer.reduce(products, rows, A.nrows, dtype=out_dtype,
-                       row_splits=A.indptr)
+                       row_splits=A.indptr, cache_on=A)
     touched = A.row_degrees() > 0
     return y, touched, nnz
 
@@ -81,7 +81,7 @@ def vxm_push(
     # Densify-by-column instead of np.unique(return_inverse): two O(n)
     # bincount passes where unique pays an O(n log n) sort.
     y_idx, y_vals = group_reduce(cols.astype(np.int64), products, A.ncols,
-                                 add, dtype=out_dtype)
+                                 add, dtype=out_dtype, cache_on=A)
     return y_idx, y_vals, flops
 
 
@@ -114,5 +114,5 @@ def mxv_push_transposed(
     )
     products = mult.apply(a_vals, x_vals[seg].astype(out_dtype, copy=False))
     y_idx, y_vals = group_reduce(cols.astype(np.int64), products, At.ncols,
-                                 add, dtype=out_dtype)
+                                 add, dtype=out_dtype, cache_on=At)
     return y_idx, y_vals, flops

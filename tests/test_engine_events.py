@@ -24,7 +24,8 @@ class TestOpEventValidation:
 
     def test_negative_counts_rejected(self):
         for field in ("items", "flops", "bytes_materialized", "loops",
-                      "round_id", "in_nvals", "out_nvals", "mask_bytes"):
+                      "round_id", "in_nvals", "out_nvals", "mask_bytes",
+                      "bytes_not_materialized"):
             with pytest.raises(InvalidValue):
                 OpEvent(kind="mxv", **{field: -1})
 

@@ -1,0 +1,142 @@
+"""Equivalence tests for the wall-clock fused operator pipeline.
+
+The contract of :mod:`repro.graphblas.pipeline` is that fusion is a pure
+wall-clock artifact: with fusion on or off, every driver produces
+bit-identical result vectors, the machine's modeled counters are equal,
+and the recorded op-event streams agree once the wall-clock-only
+``fused``/``bytes_not_materialized`` stamps are stripped.  These tests
+pin that contract per driver and per backend, and pin the downstream
+promise that ``cells.json`` — the persisted modeled artifact — is
+byte-identical either way.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.graphblas as gb
+from repro.core import experiments
+from repro.galoisblas import GaloisBLASBackend
+from repro.graphblas import pipeline
+from repro.lagraph import bfs, delta_stepping, pagerank_gb_res
+from repro.perf.machine import Machine
+from repro.sparse.csr import CSRMatrix
+from repro.suitesparse import SuiteSparseBackend
+
+from tests.conftest import random_digraph
+
+BACKENDS = {"SS": SuiteSparseBackend, "GB": GaloisBLASBackend}
+
+
+def _graphs():
+    csr, _sym = random_digraph(n=120, m=700, seed=9)
+    pattern = CSRMatrix(csr.nrows, csr.ncols, csr.indptr, csr.indices, None)
+    return pattern, csr
+
+
+def _run_driver(backend_cls, app, fused):
+    """One driver run: (values, present, counters, stripped events)."""
+    pattern, weighted = _graphs()
+    previous = pipeline.set_enabled(fused)
+    try:
+        backend = backend_cls(Machine())
+        A = gb.Matrix.from_csr(backend, gb.BOOL, pattern, label="A")
+        Aw = gb.Matrix.from_csr(backend, gb.INT64, weighted, label="Aw")
+        if app == "pr":
+            vec = pagerank_gb_res(backend, A, iters=6)
+        elif app == "bfs":
+            vec = bfs(backend, A, 0)
+        else:
+            vec = delta_stepping(backend, Aw, 0, delta=16)
+    finally:
+        pipeline.set_enabled(previous)
+    stripped = tuple(replace(e, fused=False, bytes_not_materialized=0)
+                     for e in backend.machine.context.events)
+    return (vec._values.copy(), vec._present.copy(),
+            backend.machine.counters.as_dict(), stripped)
+
+
+@pytest.mark.parametrize("system", sorted(BACKENDS))
+@pytest.mark.parametrize("app", ["pr", "bfs", "sssp"])
+class TestFusedEquivalence:
+    def test_results_bit_identical(self, system, app):
+        fused = _run_driver(BACKENDS[system], app, fused=True)
+        plain = _run_driver(BACKENDS[system], app, fused=False)
+        assert np.array_equal(fused[0], plain[0])
+        assert fused[0].dtype == plain[0].dtype
+        assert np.array_equal(fused[1], plain[1])
+
+    def test_modeled_counters_identical(self, system, app):
+        fused = _run_driver(BACKENDS[system], app, fused=True)
+        plain = _run_driver(BACKENDS[system], app, fused=False)
+        assert fused[2] == plain[2]
+
+    def test_event_streams_identical_modulo_fused_stamp(self, system, app):
+        fused = _run_driver(BACKENDS[system], app, fused=True)
+        plain = _run_driver(BACKENDS[system], app, fused=False)
+        assert fused[3] == plain[3]
+
+
+@pytest.mark.parametrize("app", ["pr", "bfs", "sssp"])
+def test_drivers_actually_fuse(app):
+    """The rewired hot loops hit the fused path, without fallbacks."""
+    pipeline.reset_fusion_stats()
+    previous = pipeline.set_enabled(True)
+    try:
+        _run_driver(GaloisBLASBackend, app, fused=True)
+    finally:
+        pipeline.set_enabled(previous)
+    stats = pipeline.fusion_stats()
+    assert stats["chains"] > 0
+    assert stats["fused_ops"] > stats["chains"]
+    assert stats["fallbacks"] == 0
+    assert stats["bytes_not_materialized"] > 0
+
+
+def test_disabled_pipeline_emits_no_fused_events():
+    _values, _present, _counters, _events = _run_driver(
+        GaloisBLASBackend, "pr", fused=False)
+    previous = pipeline.set_enabled(False)
+    try:
+        pattern, _weighted = _graphs()
+        backend = GaloisBLASBackend(Machine())
+        A = gb.Matrix.from_csr(backend, gb.BOOL, pattern, label="A")
+        pagerank_gb_res(backend, A, iters=6)
+    finally:
+        pipeline.set_enabled(previous)
+    assert not any(e.fused for e in backend.machine.context.events)
+
+
+def test_fusion_respects_backend_opt_out():
+    """A backend that opts out of wall-clock fusion is left alone."""
+    pattern, _weighted = _graphs()
+    previous = pipeline.set_enabled(True)
+    try:
+        backend = GaloisBLASBackend(Machine())
+        backend.supports_wallclock_fusion = False
+        A = gb.Matrix.from_csr(backend, gb.BOOL, pattern, label="A")
+        pipe = pipeline.FusedPipeline(backend)
+        assert not pipe.enabled
+        pagerank_gb_res(backend, A, iters=2)
+    finally:
+        pipeline.set_enabled(previous)
+    assert not any(e.fused for e in backend.machine.context.events)
+
+
+@pytest.mark.usefixtures("isolated_grid")
+def test_cells_snapshot_byte_identical_with_fusion_toggled(tmp_path):
+    """The persisted modeled artifact does not depend on the fusion knob."""
+    paths = {}
+    for fused in (True, False):
+        previous = pipeline.set_enabled(fused)
+        try:
+            experiments.clear_cache()
+            for app in ("pr", "bfs"):
+                experiments.run_cell("GB", app, "road-USA-W")
+            path = tmp_path / f"cells_fused_{fused}.json"
+            experiments.save_results(str(path))
+            paths[fused] = path.read_bytes()
+        finally:
+            pipeline.set_enabled(previous)
+    assert paths[True] == paths[False]
