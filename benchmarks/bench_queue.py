@@ -1,0 +1,161 @@
+"""Throughput microbenchmarks for the durable job queue.
+
+A plain script (no pytest tests), like ``bench_wallclock.py``: run
+
+    PYTHONPATH=src python benchmarks/bench_queue.py
+
+and it writes ``BENCH_queue.json`` at the repo root in a few seconds.
+The queue is the service layer's hot path — every cell dispatched by a
+``repro-serve drain`` costs one lease, one renewal per heartbeat tick,
+and one commit — so this measures the SQLite-WAL operation rates that
+bound how many workers one supervisor can feed:
+
+* ``submit`` — validated enqueues (registry + dataset checks included);
+* ``submit_dedup`` — idempotency-key resubmission (the restart path);
+* ``lease_complete`` — the full dispatch cycle: lease, renew, commit;
+* ``peek_ready`` — dispatch-candidate lookup with a deep backlog of
+  terminal rows (exercises the ``jobs_ready`` index);
+* ``requeue_orphans`` — supervisor-takeover reclaim over a pile of
+  orphaned leases;
+* ``events_read`` — the progress-stream cursor behind
+  ``GET /jobs/<id>/events``.
+
+Numbers are operations/second; structural sanity (counts, states) is
+asserted, wall-clock floors are not — the report is a trajectory
+artifact, not a gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_queue.json"
+
+GRAPH = "road-USA-W"
+N_JOBS = 2_000
+N_LEASED = 500
+
+
+def rate(n, seconds):
+    return round(n / seconds, 1) if seconds > 0 else float("inf")
+
+
+def ok_row(job):
+    return {"system": job.system, "app": job.app, "graph": job.graph,
+            "status": "ok", "seconds": 1.0, "mrss_gb": 0.1,
+            "counters": {}, "answer": None, "thread_sweep": {},
+            "attempts": 1}
+
+
+def bench_submit(queue):
+    t0 = time.perf_counter()
+    for i in range(N_JOBS):
+        queue.submit("GB", "bfs", GRAPH, idem_key=f"k{i}",
+                     tenant=f"t{i % 8}")
+    elapsed = time.perf_counter() - t0
+    assert queue.counts()["queued"] == N_JOBS
+    return {"jobs": N_JOBS, "per_second": rate(N_JOBS, elapsed)}
+
+
+def bench_submit_dedup(queue):
+    t0 = time.perf_counter()
+    for i in range(N_JOBS):
+        job = queue.submit("GB", "bfs", GRAPH, idem_key=f"k{i}")
+        assert job.id is not None
+    elapsed = time.perf_counter() - t0
+    assert queue.counts()["queued"] == N_JOBS  # nothing duplicated
+    return {"jobs": N_JOBS, "per_second": rate(N_JOBS, elapsed)}
+
+
+def bench_lease_complete(queue):
+    t0 = time.perf_counter()
+    completed = 0
+    while True:
+        job = queue.peek_ready()
+        if job is None:
+            break
+        leased = queue.lease(job.id, "bench")
+        queue.renew(leased.id, "bench")
+        assert queue.complete(leased.id, "bench", leased.attempts,
+                              ok_row(leased))
+        completed += 1
+    elapsed = time.perf_counter() - t0
+    assert completed == N_JOBS
+    assert queue.counts()["done"] == N_JOBS
+    return {"cycles": completed, "per_second": rate(completed, elapsed)}
+
+
+def bench_peek_ready(queue):
+    # A deep backlog of terminal rows in front of a few ready ones — the
+    # jobs_ready index must keep candidate lookup flat.
+    fresh = [queue.submit("SS", "cc", GRAPH, idem_key=f"fresh{i}")
+             for i in range(N_LEASED)]
+    reps = 2_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        assert queue.peek_ready() is not None
+    elapsed = time.perf_counter() - t0
+    return {"terminal_backlog": N_JOBS, "ready": len(fresh),
+            "per_second": rate(reps, elapsed)}
+
+
+def bench_requeue_orphans(queue):
+    leased = 0
+    while True:
+        job = queue.peek_ready()
+        if job is None:
+            break
+        queue.lease(job.id, "dead-supervisor")
+        leased += 1
+    assert leased == N_LEASED
+    t0 = time.perf_counter()
+    reclaimed = queue.requeue_orphans()
+    elapsed = time.perf_counter() - t0
+    assert len(reclaimed) == N_LEASED
+    assert queue.counts()["leased"] == 0
+    return {"orphans": leased, "per_second": rate(leased, elapsed)}
+
+
+def bench_events_read(queue):
+    # Terminal jobs carry submitted/leased/done trails by now.
+    reps, read = 1_000, 0
+    t0 = time.perf_counter()
+    for job_id in range(1, reps + 1):
+        events = queue.events(job_id)
+        assert events and events[0]["kind"] == "submitted"
+        read += len(events)
+    elapsed = time.perf_counter() - t0
+    return {"jobs": reps, "events": read,
+            "jobs_per_second": rate(reps, elapsed)}
+
+
+def main():
+    from repro.service.config import QueueConfig
+    from repro.service.queue import JobQueue
+
+    with tempfile.TemporaryDirectory() as tmp:
+        queue = JobQueue(pathlib.Path(tmp) / "bench.db",
+                         QueueConfig(backoff_base=0.01, backoff_cap=0.01))
+        t0 = time.perf_counter()
+        report = {
+            "n_jobs": N_JOBS,
+            "submit": bench_submit(queue),
+            "submit_dedup": bench_submit_dedup(queue),
+            "lease_complete": bench_lease_complete(queue),
+            "peek_ready": bench_peek_ready(queue),
+            "requeue_orphans": bench_requeue_orphans(queue),
+            "events_read": bench_events_read(queue),
+        }
+        report["total_bench_seconds"] = round(time.perf_counter() - t0, 1)
+        queue.close()
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"[written to {OUT_PATH}]")
+
+
+if __name__ == "__main__":
+    main()

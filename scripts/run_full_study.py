@@ -54,7 +54,48 @@ def parse_args(argv=None):
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="run grid cells on N supervised worker "
                              "processes (default: 1 = in-process)")
+    parser.add_argument("--queue", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="route the grid through a durable job queue "
+                             "at PATH (created if missing): cells are "
+                             "submitted as idempotent jobs and drained by "
+                             "a crash-safe QueueSupervisor with --workers "
+                             "processes; a killed run re-invoked against "
+                             "the same queue resumes exactly once per job")
     return parser.parse_args(argv)
+
+
+def _drain_through_queue(queue_path, tasks, workers: int) -> None:
+    """Run the grid as durable queue jobs instead of an in-memory list.
+
+    Each task becomes one idempotent job (``study:<system>:<app>:<graph>``
+    keys), so re-invoking a killed run against the same queue resubmits
+    nothing — already-committed jobs replay their stored result into the
+    journal and the rest resume from their requeued leases.  Results are
+    mirrored into the experiment memo in submission order through the
+    OrderedCommitter discipline, so the downstream renderers and
+    ``cells.json`` behave exactly as in the ``--workers`` path.
+    """
+    from repro.service import JobQueue, QueueSupervisor
+
+    queue = JobQueue(queue_path)
+    job_ids = []
+    for task in tasks:
+        job = queue.submit(
+            task.system, task.app, task.graph,
+            params={"sweep": True} if task.sweep else {},
+            tenant="study",
+            idem_key=f"study:{task.system}:{task.app}:{task.graph}")
+        job_ids.append(job.id)
+    supervisor = QueueSupervisor(queue, workers=workers,
+                                 mirror_jobs=job_ids)
+    counts = supervisor.drain()
+    print(supervisor.describe(), flush=True)
+    if counts["dead"]:
+        print(f"warning: {counts['dead']} job(s) dead-lettered; see "
+              f"'repro-serve status --queue {queue_path}'",
+              file=sys.stderr)
+    queue.close()
 
 
 def main(argv=None) -> int:
@@ -63,6 +104,9 @@ def main(argv=None) -> int:
     out.mkdir(parents=True, exist_ok=True)
     journal_path = args.journal or (out / "journal.jsonl")
 
+    from repro.service.config import validate_env_knobs
+
+    validate_env_knobs()
     experiments.validate_selection(graphs=args.graphs, apps=args.apps)
     graphs = list(args.graphs or GRAPH_ORDER)
     apps = list(args.apps or APPLICATIONS)
@@ -79,17 +123,22 @@ def main(argv=None) -> int:
     else:
         checkpoint.attach(journal_path, fresh=True)
 
-    if args.workers > 1:
-        from repro.service import Supervisor, grid_tasks
+    if args.queue is not None or args.workers > 1:
+        from repro.service import grid_tasks
 
         tasks = grid_tasks(
             graphs, apps,
             sweep_apps=[a for a in apps if a in figures.FIGURE2_APPS]
             or figures.FIGURE2_APPS,
             sweep_graphs=[g for g in graphs if g in LARGEST] or LARGEST)
-        supervisor = Supervisor(tasks, workers=args.workers)
-        supervisor.run()
-        print(supervisor.describe(), flush=True)
+        if args.queue is not None:
+            _drain_through_queue(args.queue, tasks, args.workers)
+        else:
+            from repro.service import Supervisor
+
+            supervisor = Supervisor(tasks, workers=args.workers)
+            supervisor.run()
+            print(supervisor.describe(), flush=True)
 
     targets = (
         ("table1", lambda: tables.table1(graphs)),

@@ -154,11 +154,23 @@ class OrderedCommitter:
 
     def skip(self, index: int) -> None:
         """Mark a task index as already satisfied (no result to commit)."""
+        if index < self._next:
+            return  # already retired — skip and offer are idempotent
         self._skipped.add(index)
         self._drain()
 
     def offer(self, index: int, result: experiments.CellResult) -> None:
-        """Hand over one finished cell; commits every newly in-order one."""
+        """Hand over one finished cell; commits every newly in-order one.
+
+        Offers are idempotent: re-offering an index that has already
+        retired (or was skipped) is a no-op, so at-least-once callers —
+        a queue drain replaying a result blob its killed predecessor
+        committed to the queue but not the journal — cannot double-append
+        a cell.  Only the *first* offer of a still-pending index wins.
+        """
+        if index < self._next or index in self._skipped \
+                or index in self._buffer:
+            return
         self._buffer[index] = result
         self._drain()
 

@@ -59,6 +59,11 @@ def main(argv=None) -> int:
     graphs = args.graphs or list(GRAPH_ORDER)
     apps = args.apps or list(APPLICATIONS)
     try:
+        # A typo'd REPRO_* knob silently does nothing — fail fast instead
+        # (REPRO_ALLOW_UNKNOWN_KNOBS=1 downgrades to a warning).
+        from repro.service.config import validate_env_knobs
+
+        validate_env_knobs()
         experiments.validate_selection(graphs=args.graphs, apps=args.apps)
     except errors.InvalidValue as exc:
         print(f"repro-study: {exc}", file=sys.stderr)

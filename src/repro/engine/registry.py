@@ -111,6 +111,25 @@ def _capability_flags(caps: Capabilities) -> frozenset:
     return frozenset(name for name, value in vars(caps).items() if value)
 
 
+def catalog() -> Tuple[dict, ...]:
+    """JSON-able description of every registered system.
+
+    The service front-end (``repro-serve`` / ``GET /systems``) publishes
+    this so clients can discover valid job targets — code, API family,
+    capability flags, and where an open circuit breaker may reroute jobs
+    (:func:`compatible_fallbacks`) — without importing the registry.
+    """
+    return tuple(
+        {
+            "code": spec.code,
+            "description": spec.description,
+            "api": spec.api,
+            "capabilities": sorted(_capability_flags(spec.capabilities)),
+            "fallbacks": list(compatible_fallbacks(spec.code)),
+        }
+        for spec in _SYSTEMS.values())
+
+
 def compatible_fallbacks(code: str) -> Tuple[str, ...]:
     """Systems able to stand in for ``code``, best match first.
 

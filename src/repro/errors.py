@@ -67,3 +67,12 @@ class WallClockExceeded(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its round budget."""
+
+
+class AdmissionDenied(ReproError):
+    """The job queue refused a submission (tenant over its active-job cap).
+
+    Raised by :meth:`repro.service.queue.JobQueue.submit` and mapped to
+    HTTP 429 by the service front-end — the multi-tenant backpressure
+    signal, distinct from a malformed request (:class:`InvalidValue`).
+    """

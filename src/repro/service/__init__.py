@@ -25,23 +25,46 @@ through such deaths by running cells *out of process* under supervision:
 * :mod:`repro.service.chaos` — deterministic worker-kill/hang schedules
   for drills (the service-level analogue of :mod:`repro.faults`).
 * :mod:`repro.service.config` — the ``REPRO_SERVICE_*`` /
-  ``REPRO_CELL_*`` / ``REPRO_BREAKER_*`` environment knobs, validated up
-  front (see the "Environment knobs" table in EXPERIMENTS.md).
+  ``REPRO_CELL_*`` / ``REPRO_BREAKER_*`` / ``REPRO_JOB_*`` environment
+  knobs, validated up front (see the "Environment knobs" table in
+  EXPERIMENTS.md), plus :func:`~repro.service.config.validate_env_knobs`
+  rejecting unknown ``REPRO_*`` names.
+* :mod:`repro.service.queue` — the durable SQLite-WAL job queue
+  (idempotent submission, crash-safe leases, retry with backoff,
+  dead-letter state, tenant admission control).
+* :mod:`repro.service.queue_supervisor` — drains the queue through the
+  same worker pool, with exactly-once result commit and breaker-driven
+  defer/reroute admission.
+* :mod:`repro.service.api` / :mod:`repro.service.serve` — the service
+  front-end: a stdlib HTTP JSON API and the ``repro-serve`` CLI
+  (``submit``/``status``/``result``/``drain``/``api``).
 
-Both CLIs expose the pool via ``--workers N``; the default ``N=1`` keeps
-the existing in-process sequential path byte-for-byte unchanged.
+Both study CLIs expose the pool via ``--workers N``; the default ``N=1``
+keeps the existing in-process sequential path byte-for-byte unchanged.
+``run_full_study.py --queue`` routes the same grid through the durable
+queue instead.
 """
 
 from repro.service.breaker import CircuitBreaker
 from repro.service.chaos import ChaosPlan
-from repro.service.config import ServiceConfig
-from repro.service.supervisor import CellTask, Supervisor, grid_tasks
+from repro.service.config import QueueConfig, ServiceConfig, \
+    validate_env_knobs
+from repro.service.queue import Job, JobQueue
+from repro.service.queue_supervisor import QueueSupervisor
+from repro.service.supervisor import (CellTask, Supervisor, WorkerPool,
+                                      grid_tasks)
 
 __all__ = [
     "CellTask",
     "ChaosPlan",
     "CircuitBreaker",
+    "Job",
+    "JobQueue",
+    "QueueConfig",
+    "QueueSupervisor",
     "ServiceConfig",
     "Supervisor",
+    "WorkerPool",
     "grid_tasks",
+    "validate_env_knobs",
 ]

@@ -20,7 +20,7 @@ counters, not wall clocks — so supervised runs stay deterministic.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.engine.registry import compatible_fallbacks
 
@@ -101,23 +101,43 @@ class BreakerBoard:
                                  forced_open=code in tuple(forced_open))
             for code in codes}
 
+    def admit(self, code: str) -> Tuple[str, Optional[str]]:
+        """One admission decision for a cell of ``code``.
+
+        Returns one of::
+
+            ("run", None)          # breaker closed (or the half-open probe)
+            ("reroute", fallback)  # breaker open; a healthy same-API
+                                   # fallback exists — caller must flag
+                                   # the cell degraded
+            ("defer", None)        # breaker open and no healthy fallback
+
+        Each call is one dispatch decision (it advances the open-state
+        cooldown), so a caller that defers must not spin: the cooldown
+        guarantees a half-open probe after ``cooldown`` decisions, which
+        is what lets a deferred queue eventually drain.
+        """
+        breaker = self.breakers[code]
+        if breaker.allow():
+            return ("run", None)
+        for fallback in compatible_fallbacks(code):
+            other = self.breakers.get(fallback)
+            if other is None or other.state == CLOSED:
+                return ("reroute", fallback)
+        return ("defer", None)
+
     def route(self, code: str) -> Optional[str]:
         """Decide where a cell of ``code`` runs: its own system or a
         fallback.
 
-        Returns ``None`` to run on ``code`` itself (breaker closed, or the
-        half-open probe, or no healthy fallback exists — rerouting to
-        nothing helps nobody), else the fallback system's code.  The
-        caller must flag rerouted cells as degraded.
+        The fixed-grid policy over :meth:`admit`: returns ``None`` to run
+        on ``code`` itself (breaker closed, or the half-open probe, or no
+        healthy fallback exists — a grid has nowhere to defer to, and
+        rerouting to nothing helps nobody), else the fallback system's
+        code.  The caller must flag rerouted cells as degraded.
         """
-        breaker = self.breakers[code]
-        if breaker.allow():
-            return None
-        for fallback in compatible_fallbacks(code):
-            other = self.breakers.get(fallback)
-            if other is None or other.state == CLOSED:
-                return fallback
-        return None
+        _decision, fallback = self.admit(code)
+        return fallback
 
     def record(self, code: str, ok: bool) -> None:
         """Feed an outcome to the breaker of the system that *ran* it."""

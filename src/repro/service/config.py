@@ -5,11 +5,20 @@ range-checked before any worker spawns, so a typo fails the run immediately
 with :class:`repro.errors.InvalidValue` instead of surfacing as a confusing
 mid-grid stall.  The full knob table lives in EXPERIMENTS.md ("Environment
 knobs"); a lint-style test asserts the two stay in sync.
+
+On top of per-knob parsing, :func:`validate_env_knobs` catches the typo
+class parsing cannot: a *misspelled knob name* (RETRIES typed RETIRES) is
+simply an unread variable, silently reverting the run to defaults.  The
+CLIs call the validator at startup; any ``REPRO_``-prefixed variable not
+in :data:`KNOWN_KNOBS` fails fast with a did-you-mean suggestion unless
+``REPRO_ALLOW_UNKNOWN_KNOBS=1`` downgrades it to a stderr warning.
 """
 
 from __future__ import annotations
 
+import difflib
 import os
+import sys
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -33,6 +42,96 @@ DEFAULT_BREAKER_THRESHOLD = 5
 #: Default number of dispatch decisions an open breaker waits before
 #: letting one half-open probe through.
 DEFAULT_BREAKER_COOLDOWN = 8
+
+#: Default supervisor-level attempts per queued job before dead-letter.
+DEFAULT_JOB_MAX_ATTEMPTS = 3
+
+#: Default first-retry backoff in seconds (doubles per attempt).
+DEFAULT_JOB_BACKOFF = 0.25
+
+#: Default ceiling on the exponential retry backoff, in seconds.
+DEFAULT_JOB_BACKOFF_CAP = 30.0
+
+#: Default seconds a breaker-deferred job waits before redispatch.
+DEFAULT_JOB_DEFER = 1.0
+
+#: Default seconds a job lease lasts without renewal before it expires
+#: and the job is requeued (crash-safety for a killed supervisor).
+DEFAULT_LEASE_SECONDS = 120.0
+
+#: Default per-tenant cap on open (queued + leased) jobs; 0 = unlimited.
+DEFAULT_TENANT_MAX_ACTIVE = 0
+
+#: Every complete REPRO_* knob name any part of the harness reads — the
+#: source of truth for :func:`validate_env_knobs`.  A lint-style test
+#: (tests/test_env_knobs_doc.py) asserts this set matches the knobs the
+#: source tree actually mentions, so it cannot rot.
+KNOWN_KNOBS = frozenset({
+    "REPRO_FAULTS",
+    "REPRO_FAULTS_RATE",
+    "REPRO_FAULTS_SEED",
+    "REPRO_CELL_RETRIES",
+    "REPRO_CELL_WALL_BUDGET",
+    "REPRO_SERVICE_HEARTBEAT",
+    "REPRO_SERVICE_HEARTBEAT_TIMEOUT",
+    "REPRO_CELL_DEADLINE",
+    "REPRO_CELL_MAX_CRASHES",
+    "REPRO_BREAKER_THRESHOLD",
+    "REPRO_BREAKER_COOLDOWN",
+    "REPRO_BREAKER_FORCE_OPEN",
+    "REPRO_CHAOS_KILL_CELLS",
+    "REPRO_CHAOS_HANG_CELLS",
+    "REPRO_CHAOS_KILL_RATE",
+    "REPRO_CHAOS_KILL_SEED",
+    "REPRO_FUSION",
+    "REPRO_PLAN_CACHE",
+    "REPRO_PLAN_CACHE_STATS",
+    "REPRO_JOB_MAX_ATTEMPTS",
+    "REPRO_JOB_BACKOFF",
+    "REPRO_JOB_BACKOFF_CAP",
+    "REPRO_JOB_DEFER",
+    "REPRO_LEASE_SECONDS",
+    "REPRO_TENANT_MAX_ACTIVE",
+    "REPRO_ALLOW_UNKNOWN_KNOBS",
+    "REPRO_BENCH_GRAPHS",
+    "REPRO_BENCH_APPS",
+})
+
+
+def validate_env_knobs(environ: Optional[dict] = None) -> Tuple[str, ...]:
+    """Reject (or warn about) unrecognized ``REPRO_*`` environment knobs.
+
+    A typo'd knob name is otherwise *silently ignored* — the most
+    dangerous failure mode a knob can have (RETRIES typed RETIRES
+    quietly keeps the default retry policy).  Called by the CLIs before
+    any work starts.  Returns the tuple of unknown names (empty when the
+    environment is clean); raises :class:`repro.errors.InvalidValue`
+    naming each offender with a did-you-mean suggestion, unless
+    ``REPRO_ALLOW_UNKNOWN_KNOBS=1`` is set, in which case the offenders
+    are listed on stderr and execution continues.
+    """
+    env = os.environ if environ is None else environ
+    unknown = tuple(sorted(
+        name for name in env
+        if name.startswith("REPRO_") and name not in KNOWN_KNOBS))
+    if not unknown:
+        return ()
+    details = []
+    for name in unknown:
+        close = difflib.get_close_matches(name, KNOWN_KNOBS, n=1,
+                                          cutoff=0.6)
+        hint = f" (did you mean {close[0]}?)" if close else ""
+        details.append(f"{name}{hint}")
+    if env.get("REPRO_ALLOW_UNKNOWN_KNOBS", "").strip() == "1":
+        print("warning: ignoring unrecognized REPRO_* knob(s): "
+              + ", ".join(details), file=sys.stderr)
+        return unknown
+    raise errors.InvalidValue(
+        "unrecognized REPRO_* environment knob(s): " + ", ".join(details)
+        + ". A misspelled knob silently does nothing, so this fails "
+        "fast; set REPRO_ALLOW_UNKNOWN_KNOBS=1 to downgrade to a "
+        "warning. Known knobs are listed in EXPERIMENTS.md "
+        "('Environment knobs').")
 
 
 def _positive_float(env: dict, name: str, default: float) -> float:
@@ -133,4 +232,63 @@ class ServiceConfig:
             breaker_cooldown=_nonnegative_int(
                 env, "REPRO_BREAKER_COOLDOWN", DEFAULT_BREAKER_COOLDOWN),
             breaker_force_open=force,
+        )
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Validated durable-queue policy (attempts, backoff, leases, admission).
+
+    Governs :class:`repro.service.queue.JobQueue`; build one with
+    :meth:`from_env` (the CLIs do) or directly in tests.
+    """
+
+    #: Supervisor-level attempts (leases) per job before dead-letter.
+    max_attempts: int = DEFAULT_JOB_MAX_ATTEMPTS
+    #: First-retry backoff in seconds; doubles per attempt.
+    backoff_base: float = DEFAULT_JOB_BACKOFF
+    #: Ceiling on the exponential backoff, in seconds.
+    backoff_cap: float = DEFAULT_JOB_BACKOFF_CAP
+    #: Seconds a breaker-deferred job waits before redispatch.
+    defer_seconds: float = DEFAULT_JOB_DEFER
+    #: Seconds a lease lasts without renewal before it expires and the
+    #: job is requeued.
+    lease_seconds: float = DEFAULT_LEASE_SECONDS
+    #: Per-tenant cap on open (queued + leased) jobs; 0 = unlimited.
+    tenant_max_active: int = DEFAULT_TENANT_MAX_ACTIVE
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise errors.InvalidValue(
+                f"job max attempts must be >= 1; got {self.max_attempts}")
+        if self.backoff_base <= 0 or self.backoff_cap <= 0:
+            raise errors.InvalidValue("backoff base/cap must be > 0")
+        if self.backoff_cap < self.backoff_base:
+            raise errors.InvalidValue(
+                "backoff cap must be >= the base "
+                f"(got cap={self.backoff_cap}, base={self.backoff_base})")
+        if self.defer_seconds <= 0 or self.lease_seconds <= 0:
+            raise errors.InvalidValue("defer/lease seconds must be > 0")
+        if self.tenant_max_active < 0:
+            raise errors.InvalidValue(
+                "tenant max active must be >= 0 (0 = unlimited); got "
+                f"{self.tenant_max_active}")
+
+    @classmethod
+    def from_env(cls, environ: Optional[dict] = None) -> "QueueConfig":
+        """Read and validate every ``REPRO_JOB_*``/``REPRO_LEASE_*`` knob."""
+        env = os.environ if environ is None else environ
+        return cls(
+            max_attempts=_nonnegative_int(
+                env, "REPRO_JOB_MAX_ATTEMPTS", DEFAULT_JOB_MAX_ATTEMPTS),
+            backoff_base=_positive_float(
+                env, "REPRO_JOB_BACKOFF", DEFAULT_JOB_BACKOFF),
+            backoff_cap=_positive_float(
+                env, "REPRO_JOB_BACKOFF_CAP", DEFAULT_JOB_BACKOFF_CAP),
+            defer_seconds=_positive_float(
+                env, "REPRO_JOB_DEFER", DEFAULT_JOB_DEFER),
+            lease_seconds=_positive_float(
+                env, "REPRO_LEASE_SECONDS", DEFAULT_LEASE_SECONDS),
+            tenant_max_active=_nonnegative_int(
+                env, "REPRO_TENANT_MAX_ACTIVE", DEFAULT_TENANT_MAX_ACTIVE),
         )

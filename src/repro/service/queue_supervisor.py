@@ -1,0 +1,271 @@
+"""Drain the durable job queue through the supervised worker pool.
+
+:class:`QueueSupervisor` is the second work source for
+:class:`repro.service.supervisor.WorkerPool` (the first being the fixed
+study grid): instead of a task list it owns a
+:class:`repro.service.queue.JobQueue` and keeps leasing ready jobs until
+none remain open.  The robustness contract, layer by layer:
+
+* **Worker dies / hangs** — the pool reaps it (pipe EOF, heartbeat
+  silence, blown deadline), and the job's lease is *failed back* to the
+  queue: requeued with exponential backoff, or dead-lettered once
+  ``max_attempts`` leases have been burned.  The per-cell quarantine the
+  grid supervisor applies (``PoisonedCell``) is subsumed by the queue's
+  attempt budget.
+* **Supervisor dies** — leases stop being renewed.  A restarted drain
+  calls :meth:`~repro.service.queue.JobQueue.requeue_orphans` (it owns no
+  workers, so every lease in the database is an orphan) and takes over;
+  a concurrent queue *reader* instead relies on lease expiry.  Either
+  way the lease's attempt count fences the dead supervisor's workers:
+  their late results no longer match and cannot commit.
+* **Exactly-once commit** — a result lands in the queue via
+  :meth:`~repro.service.queue.JobQueue.complete` exactly once (state +
+  owner + attempts guard); when the drain mirrors results into the
+  experiment layer (``mirror_jobs``), the mirror goes through an
+  :class:`~repro.core.checkpoint.OrderedCommitter` in submission order,
+  so the journal stays an in-order prefix and ``cells.json`` is
+  byte-identical to a sequential clean run — the queue commit happens
+  *first*, and a crash between the two replays the stored result blob
+  into the journal on restart (offers are idempotent).
+* **Admission control** — every lease decision consults the per-system
+  circuit breakers via :meth:`~repro.service.breaker.BreakerBoard.admit`:
+  an open breaker reroutes the job to a capability-compatible fallback
+  (result re-keyed to the asked system with a ``degraded`` flag) or, with
+  no healthy fallback, *defers* the job — pushes its ``not_before`` out
+  and moves on, never dropping it.  Breaker cooldowns are counted in
+  admission decisions, so a deferred queue always earns a half-open
+  probe and cannot livelock.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import checkpoint, experiments
+from repro.core.experiments import ERR, CellResult
+from repro.service.breaker import BreakerBoard
+from repro.service.config import ServiceConfig
+from repro.service.queue import DEAD, Job, JobQueue
+from repro.service.supervisor import WorkerPool
+
+#: Event-loop ticks between per-job "heartbeat" progress events (with the
+#: default 0.25 s heartbeat interval: one event per in-flight job per
+#: ~10 s — enough for a progress stream, cheap enough for SQLite).
+HEARTBEAT_EVENT_TICKS = 40
+
+
+class QueueSupervisor(WorkerPool):
+    """Lease-execute-commit loop over a :class:`JobQueue`.
+
+    ``mirror_jobs`` (a list of job ids, in the order their cells should
+    commit) additionally mirrors those jobs' results into the experiment
+    memo/journal through an :class:`OrderedCommitter` — the mode
+    ``run_full_study.py --queue`` uses so a queue-driven study still
+    renders tables and writes a canonical ``cells.json``.  ``owner``
+    names this supervisor on its leases; it defaults to the pid and only
+    needs overriding in tests.
+    """
+
+    def __init__(self, queue: JobQueue, workers: int,
+                 config: Optional[ServiceConfig] = None,
+                 mirror_jobs: Optional[List[int]] = None,
+                 journal=None, owner: Optional[str] = None):
+        super().__init__(workers, config)
+        self.queue = queue
+        self.owner = owner if owner is not None else f"pid:{os.getpid()}"
+        self.stats.update({
+            "jobs": 0, "reclaimed": 0, "completed": 0, "requeued": 0,
+            "deferred": 0, "rerouted": 0, "dead": 0, "stale": 0,
+        })
+        #: job_id -> (leased Job snapshot, system it runs on, degraded).
+        self._inflight: Dict[int, Tuple[Job, str, Optional[dict]]] = {}
+        self._breakers: Optional[BreakerBoard] = None
+        self._mirror_index: Dict[int, int] = {
+            job_id: index
+            for index, job_id in enumerate(mirror_jobs or [])}
+        self._committer: Optional[checkpoint.OrderedCommitter] = None
+        self._journal = journal
+        self._ticks = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def drain(self) -> Dict[str, int]:
+        """Run until no job is queued or leased; returns queue counts.
+
+        Safe to call against a queue a dead supervisor left behind (its
+        leases are reclaimed first) and safe to re-run after this process
+        is itself killed — that is the whole point.
+        """
+        from repro.engine.registry import system_codes
+
+        self._breakers = BreakerBoard(
+            system_codes(), self.config.breaker_threshold,
+            self.config.breaker_cooldown,
+            forced_open=self.config.breaker_force_open)
+        reclaimed = self.queue.requeue_orphans()
+        self.stats["reclaimed"] = len(reclaimed)
+
+        if self._mirror_index:
+            journal = self._journal if self._journal is not None else \
+                experiments.get_journal()
+            self._committer = checkpoint.OrderedCommitter(
+                len(self._mirror_index), journal=journal)
+            self._seed_mirror()
+
+        open_count = sum(
+            1 for job in self.queue.jobs(limit=1_000_000)
+            if job.state in ("queued", "leased"))
+        self.stats["jobs"] = open_count
+        if open_count:
+            self._run_pool(min(self.pool_size, open_count))
+        return self.queue.counts()
+
+    def describe(self) -> str:
+        """One-line drain summary for the CLIs' stderr diagnostics."""
+        s = self.stats
+        parts = [f"{s['jobs']} jobs", f"{self.pool_size} workers"]
+        for key in ("reclaimed", "prewarmed", "crashes", "requeued",
+                    "deferred", "rerouted", "dead", "stale"):
+            if s[key]:
+                parts.append(f"{s[key]} {key}")
+        return "queue: " + ", ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Result mirroring (the OrderedCommitter discipline)
+    # ------------------------------------------------------------------
+    def _seed_mirror(self):
+        """Settle already-terminal mirrored jobs before the loop starts.
+
+        A restarted drain finds jobs a predecessor committed to the queue
+        but maybe not to the journal (the crash window between the two
+        commits): replaying the stored result blob here is idempotent —
+        the committer skips cells the resumed journal already seeded, and
+        a re-offer of the same row is byte-identical by construction.
+        """
+        memo = experiments.all_results()
+        for job_id, index in self._mirror_index.items():
+            job = self.queue.get(job_id)
+            if job is None or job.state not in ("done", "err", "dead"):
+                continue
+            if job.result is not None:
+                result = experiments.cell_from_row(job.result)
+                if memo.get(result.key) is not None:
+                    self._committer.skip(index)
+                else:
+                    self._committer.offer(index, result)
+            else:  # dead-lettered without ever producing a row
+                self._committer.offer(index, _dead_letter_cell(job))
+
+    def _mirror(self, job_id: int, result: CellResult):
+        if self._committer is None:
+            return
+        index = self._mirror_index.get(job_id)
+        if index is not None:
+            self._committer.offer(index, result)
+
+    # ------------------------------------------------------------------
+    # Work-source hooks
+    # ------------------------------------------------------------------
+    def _finished(self) -> bool:
+        return not self.queue.has_open_jobs()
+
+    def _work_remains(self) -> bool:
+        return self.queue.has_open_jobs()
+
+    def _has_dispatchable(self) -> bool:
+        return self.queue.peek_ready() is not None
+
+    def _graphs_to_warm(self):
+        return self.queue.open_graphs()
+
+    def _next_assignment(self, worker_id: int) -> Optional[dict]:
+        while True:
+            job = self.queue.peek_ready()
+            if job is None:
+                return None
+            decision, fallback = self._breakers.admit(job.system)
+            if decision == "defer":
+                # Open breaker, no healthy fallback: push the job's
+                # dispatch window out and look at the next one.  The
+                # breaker cooldown is charged per admit() call, so the
+                # deferral loop itself earns the half-open probe.
+                self.queue.defer(
+                    job.id,
+                    note=f"circuit breaker open for {job.system}")
+                self.stats["deferred"] += 1
+                continue
+            leased = self.queue.lease(job.id, self.owner)
+            if leased is None:
+                continue  # raced with another writer; pick again
+            run_system = leased.system
+            degraded = None
+            if decision == "reroute":
+                run_system = fallback
+                degraded = {
+                    "via": fallback,
+                    "reason": f"circuit breaker open for {leased.system}"}
+                self.stats["rerouted"] += 1
+                self.queue.record(leased.id, "rerouted", degraded)
+            self._inflight[leased.id] = (leased, run_system, degraded)
+            return {"id": leased.id, "system": run_system,
+                    "app": leased.app, "graph": leased.graph,
+                    "sweep": bool(leased.params.get("sweep")),
+                    "attempt": leased.attempts}
+
+    def _task_done(self, job_id: int, row: dict):
+        entry = self._inflight.pop(job_id, None)
+        if entry is None:
+            return
+        job, run_system, degraded = entry
+        if degraded is not None:
+            row = dict(row)
+            row["system"] = job.system  # keep keyed as the tenant asked
+            row["degraded"] = dict(degraded)
+        self._breakers.record(run_system, ok=row.get("status") != ERR)
+        if self.queue.complete(job_id, self.owner, job.attempts, row):
+            self.stats["completed"] += 1
+            self._mirror(job_id, experiments.cell_from_row(row))
+        else:
+            # Lease fencing: the queue already settled this job (another
+            # supervisor took it over after our lease expired) — this
+            # result must not commit a second time.
+            self.stats["stale"] += 1
+
+    def _task_lost(self, job_id: int, reason: str):
+        entry = self._inflight.pop(job_id, None)
+        if entry is None:
+            return  # a prebuild (negative id); the respawn re-warms
+        job, run_system, _degraded = entry
+        self._breakers.record(run_system, ok=False)
+        state = self.queue.fail(job_id, self.owner, job.attempts, reason)
+        if state == DEAD:
+            self.stats["dead"] += 1
+            dead = self.queue.get(job_id)
+            if dead is not None:
+                self._mirror(job_id, _dead_letter_cell(dead))
+        else:
+            self.stats["requeued"] += 1
+
+    def _tick(self):
+        self._ticks += 1
+        emit = self._ticks % HEARTBEAT_EVENT_TICKS == 0
+        for job_id in list(self._inflight):
+            self.queue.renew(job_id, self.owner)
+            if emit:
+                self.queue.record(job_id, "heartbeat",
+                                  {"owner": self.owner})
+
+
+def _dead_letter_cell(job: Job) -> CellResult:
+    """The mirrored record for a job whose attempt budget ran out."""
+    return CellResult(
+        system=job.system, app=job.app, graph=job.graph,
+        status=ERR, seconds=None, mrss_gb=0.0, counters={}, answer=None,
+        thread_sweep={}, attempts=job.attempts,
+        error={"type": "DeadLetter",
+               "message": f"job {job.id} dead-lettered after "
+                          f"{job.attempts} attempt(s); last failure: "
+                          f"{job.note or 'unknown'}",
+               "traceback": ""})

@@ -1,29 +1,36 @@
 """The study-grid supervisor: dispatch, detect, respawn, requeue, commit.
 
-:class:`Supervisor` owns the canonical task list for a grid run and a pool
-of spawn-started workers (:mod:`repro.service.worker`).  Its event loop
-multiplexes the worker pipes and enforces three liveness rules:
+Two layers live here.  :class:`WorkerPool` is the generic crash-isolated
+pool: it owns the spawn-started workers (:mod:`repro.service.worker`),
+multiplexes their pipes, and enforces the liveness rules —
 
 * a **dead** worker (SIGKILL, segfault, injected
   :class:`~repro.faults.FatalFault`) surfaces as pipe EOF or a torn
   message — the worker is reaped, a replacement spawns, and the in-flight
-  cell is requeued at the front of the queue;
+  task is handed back to the work source;
 * a **hung** worker (blown per-cell deadline, or heartbeat silence) is
-  SIGKILLed first and then treated exactly like a dead one;
+  SIGKILLed first and then treated exactly like a dead one
+
+— while *what* the work is stays behind a handful of hooks
+(``_next_assignment``/``_task_done``/``_task_lost``/...).  Two work
+sources plug in: the fixed-grid :class:`Supervisor` below, and the
+durable-queue :class:`~repro.service.queue_supervisor.QueueSupervisor`.
+
+:class:`Supervisor` owns the canonical task list for a grid run.  It adds
+the grid-specific policies:
+
 * a cell that has crashed ``max_crashes`` workers is **quarantined** as an
   ``ERR`` cell with ``error.type == "PoisonedCell"`` instead of being
-  retried forever — one poisonous cell cannot stall the pool.
-
-Cells are committed through :class:`repro.core.checkpoint.OrderedCommitter`
-in canonical task order, so the journal stays an in-order prefix (killed
-parallel runs resume like killed sequential ones) and ``cells.json`` is
-byte-identical to a sequential clean run's regardless of worker count,
-crashes, or injected faults.
-
-Per-system circuit breakers (:mod:`repro.service.breaker`) watch outcome
-streams: a system that keeps crashing workers has its cells rerouted to a
-capability-compatible fallback from the engine registry, with a visible
-``degraded`` flag on every rerouted cell.
+  retried forever — one poisonous cell cannot stall the pool;
+* cells are committed through :class:`repro.core.checkpoint.
+  OrderedCommitter` in canonical task order, so the journal stays an
+  in-order prefix (killed parallel runs resume like killed sequential
+  ones) and ``cells.json`` is byte-identical to a sequential clean run's
+  regardless of worker count, crashes, or injected faults;
+* per-system circuit breakers (:mod:`repro.service.breaker`) watch outcome
+  streams: a system that keeps crashing workers has its cells rerouted to
+  a capability-compatible fallback from the engine registry, with a
+  visible ``degraded`` flag on every rerouted cell.
 """
 
 from __future__ import annotations
@@ -120,8 +127,234 @@ class _WorkerHandle:
         self.warmup = deque(warmup)
 
 
-class Supervisor:
-    """Run a task list on a supervised, crash-isolated worker pool.
+class WorkerPool:
+    """Generic supervised pool of spawn-started cell workers.
+
+    Owns spawning, pipe multiplexing, heartbeat/deadline health checks,
+    reaping, and respawning; subclasses define the work source through
+    the hooks below.  The pool itself never raises for worker-level
+    failures — that is the contract both work sources inherit.
+    """
+
+    def __init__(self, workers: int,
+                 config: Optional[ServiceConfig] = None):
+        self.pool_size = max(1, int(workers))
+        self.config = config if config is not None else \
+            ServiceConfig.from_env()
+        # Parsed in the supervisor purely to fail fast on malformed specs;
+        # the plan itself strikes inside the workers (who re-read the env).
+        ChaosPlan.from_env()
+        self.stats: Dict[str, int] = {
+            "spawned": 0, "respawns": 0, "crashes": 0, "prewarmed": 0,
+        }
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._next_worker_id = 0
+        #: Prebuild task id per graph (negative; real task ids are >= 0).
+        self._warm_ids: Dict[str, int] = {}
+        # Consecutive workers dead before their READY: a startup problem
+        # (import error, bad environment), not a poisonous cell — abort
+        # instead of respawning forever.
+        self._early_deaths = 0
+
+    # ------------------------------------------------------------------
+    # Hooks: the work source
+    # ------------------------------------------------------------------
+    def _finished(self) -> bool:
+        """True when the event loop should stop."""
+        raise NotImplementedError
+
+    def _work_remains(self) -> bool:
+        """True while a reaped worker is worth replacing."""
+        raise NotImplementedError
+
+    def _has_dispatchable(self) -> bool:
+        """Cheap check: could *any* idle worker get work right now?"""
+        raise NotImplementedError
+
+    def _next_assignment(self, worker_id: int) -> Optional[dict]:
+        """Claim the next task for ``worker_id``; returns the RUN payload
+        (``id``/``system``/``app``/``graph``/``sweep``/``attempt``) or
+        None when nothing is dispatchable after all.  The task must be
+        registered as in-flight before returning — a failed send reaps
+        the worker and hands the task back via :meth:`_task_lost`."""
+        raise NotImplementedError
+
+    def _task_done(self, task_id: int, row: dict) -> None:
+        """A worker returned a finished cell row for ``task_id``."""
+        raise NotImplementedError
+
+    def _task_lost(self, task_id: int, reason: str) -> None:
+        """The worker holding ``task_id`` died or hung; reclaim it."""
+        raise NotImplementedError
+
+    def _graphs_to_warm(self) -> Iterable[str]:
+        """Graphs a freshly spawned worker should prebuild."""
+        return ()
+
+    def _tick(self) -> None:
+        """Per-loop maintenance (lease renewal, progress events)."""
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    def _run_pool(self, initial_workers: int) -> None:
+        """Spawn the pool and run the event loop to completion."""
+        try:
+            for _ in range(max(1, initial_workers)):
+                self._spawn()
+            self._event_loop()
+        finally:
+            self._shutdown()
+
+    def _warm_id(self, graph: str) -> int:
+        if graph not in self._warm_ids:
+            self._warm_ids[graph] = -(len(self._warm_ids) + 1)
+        return self._warm_ids[graph]
+
+    def _spawn(self):
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main, args=(child_conn, worker_id),
+            name=f"repro-worker-{worker_id}", daemon=True)
+        process.start()
+        child_conn.close()  # parent keeps one end only, so EOF is real
+        self._workers[worker_id] = _WorkerHandle(
+            worker_id, process, parent_conn, warmup=self._graphs_to_warm())
+        self.stats["spawned"] += 1
+
+    def _shutdown(self):
+        for handle in list(self._workers.values()):
+            try:
+                handle.conn.send((heartbeat.STOP,))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for handle in list(self._workers.values()):
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=5)
+            handle.conn.close()
+        self._workers.clear()
+
+    def _reap(self, handle: _WorkerHandle, reason: str):
+        """Kill + account a dead/hung worker; hand its task back."""
+        handle.process.kill()
+        handle.process.join(timeout=5)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        del self._workers[handle.worker_id]
+        self.stats["crashes"] += 1
+        if handle.ready:
+            self._early_deaths = 0
+        else:
+            self._early_deaths += 1
+            if self._early_deaths >= 3:
+                raise errors.ReproError(
+                    f"{self._early_deaths} workers in a row died before "
+                    f"initializing (last: {reason}); the worker "
+                    "environment is broken — aborting instead of "
+                    "respawning forever")
+
+        task_id = handle.health.task_id
+        if task_id is not None:
+            self._task_lost(task_id, reason)
+
+        if not self._finished() and self._work_remains():
+            self._spawn()
+            self.stats["respawns"] += 1
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _event_loop(self):
+        tick = self.config.heartbeat_interval
+        while not self._finished():
+            conns = {h.conn: h for h in self._workers.values()}
+            for conn in _connection_wait(list(conns), timeout=tick):
+                handle = conns[conn]
+                if handle.worker_id not in self._workers:
+                    continue  # reaped earlier this very iteration
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._reap(handle, "worker died (pipe closed)")
+                    continue
+                except Exception:
+                    # A SIGKILL mid-write leaves a torn, unpicklable
+                    # message; treat it exactly like a death.
+                    self._reap(handle, "worker died (torn message)")
+                    continue
+                self._handle(handle, message)
+            self._tick()
+            self._check_health()
+            self._dispatch_idle()
+
+    def _handle(self, handle: _WorkerHandle, message: tuple):
+        tag = message[0]
+        handle.health.beat()
+        if tag == heartbeat.READY:
+            handle.ready = True
+            self._early_deaths = 0
+        elif tag == heartbeat.RESULT:
+            _tag, _wid, task_id, row = message
+            self._task_done(task_id, row)
+            handle.health.finished()
+        elif tag == heartbeat.PREBUILT:
+            handle.health.finished()
+            self.stats["prewarmed"] += 1
+        # HB and START carry no state beyond proof of life.
+
+    def _dispatch_idle(self):
+        for handle in list(self._workers.values()):
+            if not self._has_dispatchable():
+                return
+            if handle.worker_id not in self._workers:
+                continue  # reaped by a failed send earlier this pass
+            if handle.ready and handle.health.task_id is None:
+                if handle.warmup:
+                    self._dispatch_prebuild(handle)
+                else:
+                    payload = self._next_assignment(handle.worker_id)
+                    if payload is None:
+                        return
+                    self._send_run(handle, payload)
+
+    def _dispatch_prebuild(self, handle: _WorkerHandle):
+        graph = handle.warmup.popleft()
+        task_id = self._warm_id(graph)
+        handle.health.started(task_id)
+        try:
+            handle.conn.send((heartbeat.PREBUILD,
+                              {"id": task_id, "graph": graph}))
+        except (OSError, ValueError, BrokenPipeError):
+            self._reap(handle, "worker died (send failed)")
+
+    def _send_run(self, handle: _WorkerHandle, payload: dict):
+        handle.health.started(payload["id"])
+        try:
+            handle.conn.send((heartbeat.RUN, payload))
+        except (OSError, ValueError, BrokenPipeError):
+            self._reap(handle, "worker died (send failed)")
+
+    def _check_health(self):
+        for handle in list(self._workers.values()):
+            if handle.worker_id not in self._workers:
+                continue
+            if handle.health.over_deadline(self.config.cell_deadline):
+                self._reap(handle, "cell deadline exceeded")
+            elif handle.health.stale(self.config.heartbeat_timeout):
+                self._reap(handle, "heartbeat lost")
+            elif not handle.process.is_alive():
+                self._reap(handle, "worker died (process exited)")
+
+
+class Supervisor(WorkerPool):
+    """Run a fixed task list on a supervised, crash-isolated worker pool.
 
     ``journal`` defaults to whatever journal is attached to the experiment
     layer (``--journal``/``--resume`` attach one); results also seed the
@@ -131,38 +364,23 @@ class Supervisor:
     def __init__(self, tasks: Iterable[CellTask], workers: int,
                  config: Optional[ServiceConfig] = None,
                  journal=None):
+        super().__init__(workers, config)
         self.tasks = list(tasks)
-        self.pool_size = max(1, int(workers))
-        self.config = config if config is not None else \
-            ServiceConfig.from_env()
         self.journal = journal if journal is not None else \
             experiments.get_journal()
-        # Parsed in the supervisor purely to fail fast on malformed specs;
-        # the plan itself strikes inside the workers (who re-read the env).
-        ChaosPlan.from_env()
-        self.stats: Dict[str, int] = {
+        self.stats.update({
             "tasks": len(self.tasks), "recalled": 0, "completed": 0,
-            "spawned": 0, "respawns": 0, "crashes": 0, "requeued": 0,
-            "quarantined": 0, "rerouted": 0, "prewarmed": 0,
-        }
+            "requeued": 0, "quarantined": 0, "rerouted": 0,
+        })
         # Distinct graphs in task order: each worker prebuilds the ones
         # still pending before accepting cells (negative task ids).
-        self._warm_graphs: Tuple[str, ...] = tuple(
-            dict.fromkeys(task.graph for task in self.tasks))
-        self._warm_ids: Dict[str, int] = {
-            graph: -(i + 1) for i, graph in enumerate(self._warm_graphs)}
-        self._ctx = multiprocessing.get_context("spawn")
-        self._workers: Dict[int, _WorkerHandle] = {}
-        self._next_worker_id = 0
+        for graph in dict.fromkeys(task.graph for task in self.tasks):
+            self._warm_id(graph)
         self._pending: deque = deque()
         self._inflight: Dict[int, tuple] = {}
         self._crashes: Dict[int, int] = {}
         self._committer: Optional[checkpoint.OrderedCommitter] = None
         self._breakers: Optional[BreakerBoard] = None
-        # Consecutive workers dead before their READY: a startup problem
-        # (import error, bad environment), not a poisonous cell — abort
-        # instead of respawning forever.
-        self._early_deaths = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -194,133 +412,47 @@ class Supervisor:
                 self._pending.append(task)
 
         if self._pending:
-            try:
-                for _ in range(min(self.pool_size, len(self._pending))):
-                    self._spawn()
-                self._event_loop()
-            finally:
-                self._shutdown()
+            self._run_pool(min(self.pool_size, len(self._pending)))
 
         results = experiments.all_results()
         return {task.key: results[task.key] for task in self.tasks}
 
     # ------------------------------------------------------------------
-    # Pool management
+    # Work-source hooks
     # ------------------------------------------------------------------
-    def _spawn(self):
-        worker_id = self._next_worker_id
-        self._next_worker_id += 1
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=worker_main, args=(child_conn, worker_id),
-            name=f"repro-worker-{worker_id}", daemon=True)
-        process.start()
-        child_conn.close()  # parent keeps one end only, so EOF is real
+    def _finished(self) -> bool:
+        return self._committer.done
+
+    def _work_remains(self) -> bool:
+        return bool(self._pending or self._inflight)
+
+    def _has_dispatchable(self) -> bool:
+        return bool(self._pending)
+
+    def _graphs_to_warm(self):
         # Warm only graphs that still have pending cells: a late respawn
         # shouldn't rebuild datasets no remaining cell will touch.
         pending_graphs = ({t.graph for t in self._pending}
-                         | {entry[0].graph
-                            for entry in self._inflight.values()})
-        self._workers[worker_id] = _WorkerHandle(
-            worker_id, process, parent_conn,
-            warmup=(g for g in self._warm_graphs if g in pending_graphs))
-        self.stats["spawned"] += 1
+                          | {entry[0].graph
+                             for entry in self._inflight.values()})
+        return (g for g in self._warm_ids if g in pending_graphs)
 
-    def _shutdown(self):
-        for handle in list(self._workers.values()):
-            try:
-                handle.conn.send((heartbeat.STOP,))
-            except (OSError, ValueError, BrokenPipeError):
-                pass
-        for handle in list(self._workers.values()):
-            handle.process.join(timeout=5)
-            if handle.process.is_alive():
-                handle.process.kill()
-                handle.process.join(timeout=5)
-            handle.conn.close()
-        self._workers.clear()
+    def _next_assignment(self, worker_id: int) -> Optional[dict]:
+        task = self._pending.popleft()
+        fallback = self._breakers.route(task.system)
+        run_system = fallback or task.system
+        degraded = None
+        if fallback is not None:
+            degraded = {"via": fallback,
+                        "reason": f"circuit breaker open for {task.system}"}
+            self.stats["rerouted"] += 1
+        attempt = self._crashes.get(task.index, 0) + 1
+        self._inflight[task.index] = (task, run_system, degraded)
+        return {"id": task.index, "system": run_system, "app": task.app,
+                "graph": task.graph, "sweep": task.sweep,
+                "attempt": attempt}
 
-    def _reap(self, handle: _WorkerHandle, reason: str):
-        """Kill + account a dead/hung worker; requeue or quarantine its
-        cell."""
-        handle.process.kill()
-        handle.process.join(timeout=5)
-        try:
-            handle.conn.close()
-        except OSError:
-            pass
-        del self._workers[handle.worker_id]
-        self.stats["crashes"] += 1
-        if handle.ready:
-            self._early_deaths = 0
-        else:
-            self._early_deaths += 1
-            if self._early_deaths >= 3:
-                raise errors.ReproError(
-                    f"{self._early_deaths} workers in a row died before "
-                    f"initializing (last: {reason}); the worker "
-                    "environment is broken — aborting instead of "
-                    "respawning forever")
-
-        task_id = handle.health.task_id
-        if task_id is not None and task_id in self._inflight:
-            task, run_system, _degraded = self._inflight.pop(task_id)
-            self._breakers.record(run_system, ok=False)
-            crashes = self._crashes.get(task.index, 0) + 1
-            self._crashes[task.index] = crashes
-            if crashes >= self.config.max_crashes:
-                self._committer.offer(
-                    task.index, _poisoned_cell(task, crashes, reason))
-                self.stats["quarantined"] += 1
-                self.stats["completed"] += 1
-            else:
-                self._pending.appendleft(task)
-                self.stats["requeued"] += 1
-
-        if not self._committer.done and (self._pending or self._inflight):
-            self._spawn()
-            self.stats["respawns"] += 1
-
-    # ------------------------------------------------------------------
-    # Event loop
-    # ------------------------------------------------------------------
-    def _event_loop(self):
-        tick = self.config.heartbeat_interval
-        while not self._committer.done:
-            conns = {h.conn: h for h in self._workers.values()}
-            for conn in _connection_wait(list(conns), timeout=tick):
-                handle = conns[conn]
-                if handle.worker_id not in self._workers:
-                    continue  # reaped earlier this very iteration
-                try:
-                    message = conn.recv()
-                except (EOFError, OSError):
-                    self._reap(handle, "worker died (pipe closed)")
-                    continue
-                except Exception:
-                    # A SIGKILL mid-write leaves a torn, unpicklable
-                    # message; treat it exactly like a death.
-                    self._reap(handle, "worker died (torn message)")
-                    continue
-                self._handle(handle, message)
-            self._check_health()
-            self._dispatch_idle()
-
-    def _handle(self, handle: _WorkerHandle, message: tuple):
-        tag = message[0]
-        handle.health.beat()
-        if tag == heartbeat.READY:
-            handle.ready = True
-            self._early_deaths = 0
-        elif tag == heartbeat.RESULT:
-            _tag, _wid, task_id, row = message
-            self._commit(handle, task_id, row)
-        elif tag == heartbeat.PREBUILT:
-            handle.health.finished()
-            self.stats["prewarmed"] += 1
-        # HB and START carry no state beyond proof of life.
-
-    def _commit(self, handle: _WorkerHandle, task_id: int, row: dict):
+    def _task_done(self, task_id: int, row: dict):
         if task_id not in self._inflight:
             return  # late result for a cell already requeued elsewhere
         task, run_system, degraded = self._inflight.pop(task_id)
@@ -332,57 +464,22 @@ class Supervisor:
         self._breakers.record(run_system, ok=result.status != ERR)
         self._committer.offer(task.index, result)
         self.stats["completed"] += 1
-        handle.health.finished()
 
-    def _dispatch_idle(self):
-        for handle in self._workers.values():
-            if not self._pending:
-                return
-            if handle.ready and handle.health.task_id is None:
-                if handle.warmup:
-                    self._dispatch_prebuild(handle)
-                else:
-                    self._dispatch(handle, self._pending.popleft())
-
-    def _dispatch_prebuild(self, handle: _WorkerHandle):
-        graph = handle.warmup.popleft()
-        task_id = self._warm_ids[graph]
-        handle.health.started(task_id)
-        try:
-            handle.conn.send((heartbeat.PREBUILD,
-                              {"id": task_id, "graph": graph}))
-        except (OSError, ValueError, BrokenPipeError):
-            self._reap(handle, "worker died (send failed)")
-
-    def _dispatch(self, handle: _WorkerHandle, task: CellTask):
-        fallback = self._breakers.route(task.system)
-        run_system = fallback or task.system
-        degraded = None
-        if fallback is not None:
-            degraded = {"via": fallback,
-                        "reason": f"circuit breaker open for {task.system}"}
-            self.stats["rerouted"] += 1
-        attempt = self._crashes.get(task.index, 0) + 1
-        self._inflight[task.index] = (task, run_system, degraded)
-        handle.health.started(task.index)
-        try:
-            handle.conn.send((heartbeat.RUN, {
-                "id": task.index, "system": run_system, "app": task.app,
-                "graph": task.graph, "sweep": task.sweep,
-                "attempt": attempt}))
-        except (OSError, ValueError, BrokenPipeError):
-            self._reap(handle, "worker died (send failed)")
-
-    def _check_health(self):
-        for handle in list(self._workers.values()):
-            if handle.worker_id not in self._workers:
-                continue
-            if handle.health.over_deadline(self.config.cell_deadline):
-                self._reap(handle, "cell deadline exceeded")
-            elif handle.health.stale(self.config.heartbeat_timeout):
-                self._reap(handle, "heartbeat lost")
-            elif not handle.process.is_alive():
-                self._reap(handle, "worker died (process exited)")
+    def _task_lost(self, task_id: int, reason: str):
+        if task_id not in self._inflight:
+            return  # a prebuild (negative id); the respawn re-warms
+        task, run_system, _degraded = self._inflight.pop(task_id)
+        self._breakers.record(run_system, ok=False)
+        crashes = self._crashes.get(task.index, 0) + 1
+        self._crashes[task.index] = crashes
+        if crashes >= self.config.max_crashes:
+            self._committer.offer(
+                task.index, _poisoned_cell(task, crashes, reason))
+            self.stats["quarantined"] += 1
+            self.stats["completed"] += 1
+        else:
+            self._pending.appendleft(task)
+            self.stats["requeued"] += 1
 
     def describe(self) -> str:
         """One-line run summary for the CLIs' stderr diagnostics."""

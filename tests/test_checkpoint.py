@@ -208,6 +208,90 @@ class TestKillAndResume:
         assert ("LS", "bfs", "rmat22") in CellJournal(journal_path).load()
 
 
+@pytest.mark.usefixtures("isolated_grid")
+class TestOrderedCommitterIdempotence:
+    """The at-least-once queue drain must not double-commit a cell.
+
+    A drain supervisor replays result blobs its killed predecessor
+    committed to the queue but maybe not to the journal, so the committer
+    sees duplicate offers, offers for skipped cells, and offers arriving
+    out of order after a lease was requeued — none may append twice.
+    """
+
+    def _journal_apps(self, path):
+        return [json.loads(line)["cell"]["app"]
+                for line in path.read_text().splitlines()]
+
+    def test_duplicate_offer_is_noop_and_byte_identical(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        committer = checkpoint.OrderedCommitter(
+            2, journal=CellJournal(path))
+        first = fake_cell(app="bfs", seconds=1.0)
+        committer.offer(0, first)
+        before = path.read_bytes()
+        committer.offer(0, fake_cell(app="bfs", seconds=99.0))
+        committer.offer(0, first)
+        assert path.read_bytes() == before
+        assert committer.committed == 1
+        # The memo kept the first commit, not the late duplicate.
+        assert experiments.all_results()[first.key].seconds == 1.0
+
+    def test_offer_after_skip_is_noop(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        committer = checkpoint.OrderedCommitter(
+            2, journal=CellJournal(path))
+        committer.skip(0)
+        committer.skip(0)  # skip is idempotent too
+        committer.offer(0, fake_cell(app="bfs"))
+        committer.offer(1, fake_cell(app="cc"))
+        assert committer.done and committer.committed == 1
+        assert self._journal_apps(path) == ["cc"]
+
+    def test_out_of_order_offers_after_requeue_commit_in_order(
+            self, tmp_path):
+        # A requeued cell's second attempt can land before an earlier
+        # index commits — and a zombie first attempt can land after it.
+        path = tmp_path / "j.jsonl"
+        committer = checkpoint.OrderedCommitter(
+            2, journal=CellJournal(path))
+        committer.offer(1, fake_cell(app="cc", seconds=2.0))
+        committer.offer(1, fake_cell(app="cc", seconds=77.0))  # zombie
+        assert committer.committed == 0 and committer.pending() == 1
+        committer.offer(0, fake_cell(app="bfs"))
+        assert committer.done and committer.committed == 2
+        assert self._journal_apps(path) == ["bfs", "cc"]
+        key = ("SS", "cc", "rmat22")
+        assert experiments.all_results()[key].seconds == 2.0
+
+    def test_commit_after_supervisor_restart_does_not_duplicate(
+            self, tmp_path):
+        # First supervisor commits two cells, then dies.
+        path = tmp_path / "j.jsonl"
+        cells = [fake_cell(app=app) for app in ("bfs", "cc", "pr")]
+        committer = checkpoint.OrderedCommitter(
+            3, journal=CellJournal(path))
+        committer.offer(0, cells[0])
+        committer.offer(1, cells[1])
+
+        # Restart: resume the journal, then settle already-known cells
+        # the way QueueSupervisor._seed_mirror does — skip what the memo
+        # holds, re-offer the rest — and finish the grid.
+        experiments.clear_cache()
+        assert checkpoint.resume(path) == 2
+        memo = experiments.all_results()
+        restarted = checkpoint.OrderedCommitter(
+            3, journal=experiments.get_journal())
+        for index, cell in enumerate(cells[:2]):
+            if memo.get(cell.key) is not None:
+                restarted.skip(index)
+            else:
+                restarted.offer(index, cell)
+        restarted.offer(2, cells[2])
+        experiments.set_journal(None)
+        assert restarted.done
+        assert self._journal_apps(path) == ["bfs", "cc", "pr"]
+
+
 class TestAtomicWriteJson:
     def test_replaces_atomically(self, tmp_path):
         path = tmp_path / "data.json"

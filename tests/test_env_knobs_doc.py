@@ -65,6 +65,18 @@ class TestEnvKnobTable:
             "EXPERIMENTS.md and the scripts/make_experiments_md.py HEADER "
             "document different knob sets; edit them together")
 
+    def test_validator_known_set_matches_sources(self):
+        # The fail-fast validator's allowlist must track the knobs the
+        # tree actually mentions — an unlisted real knob would make the
+        # validator reject a legitimate environment, and a leftover name
+        # would let a removed knob linger unnoticed.
+        from repro.service.config import KNOWN_KNOBS
+
+        assert set(KNOWN_KNOBS) == knobs_in_sources(), (
+            "repro.service.config.KNOWN_KNOBS and the REPRO_* names "
+            "mentioned under src/repro have drifted apart; edit them "
+            "together")
+
     def test_table_is_nonempty_and_has_service_knobs(self):
         documented = documented_knobs((ROOT / "EXPERIMENTS.md").read_text())
         assert {"REPRO_FAULTS", "REPRO_CELL_RETRIES",
