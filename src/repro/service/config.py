@@ -95,6 +95,9 @@ KNOWN_KNOBS = frozenset({
     "REPRO_ALLOW_UNKNOWN_KNOBS",
     "REPRO_BENCH_GRAPHS",
     "REPRO_BENCH_APPS",
+    "REPRO_ARTIFACTS",
+    "REPRO_ARTIFACT_DIR",
+    "REPRO_SHARD_ROWS",
 })
 
 

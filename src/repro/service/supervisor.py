@@ -146,6 +146,7 @@ class WorkerPool:
         ChaosPlan.from_env()
         self.stats: Dict[str, int] = {
             "spawned": 0, "respawns": 0, "crashes": 0, "prewarmed": 0,
+            "prewarm_generated": 0,
         }
         self._ctx = multiprocessing.get_context("spawn")
         self._workers: Dict[int, _WorkerHandle] = {}
@@ -307,6 +308,12 @@ class WorkerPool:
         elif tag == heartbeat.PREBUILT:
             handle.health.finished()
             self.stats["prewarmed"] += 1
+            # 4th element: did the worker actually run a generator, or did
+            # the artifact store satisfy the warm?  Absent (older worker)
+            # counts as generated — the conservative reading.
+            generated = message[3] if len(message) > 3 else True
+            if generated:
+                self.stats["prewarm_generated"] += 1
         # HB and START carry no state beyond proof of life.
 
     def _dispatch_idle(self):
@@ -485,8 +492,8 @@ class Supervisor(WorkerPool):
         """One-line run summary for the CLIs' stderr diagnostics."""
         s = self.stats
         parts = [f"{s['tasks']} cells", f"{self.pool_size} workers"]
-        for key in ("recalled", "prewarmed", "crashes", "requeued",
-                    "quarantined", "rerouted"):
+        for key in ("recalled", "prewarmed", "prewarm_generated", "crashes",
+                    "requeued", "quarantined", "rerouted"):
             if s[key]:
                 parts.append(f"{s[key]} {key}")
         return "service: " + ", ".join(parts)

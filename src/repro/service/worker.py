@@ -76,18 +76,25 @@ def worker_main(conn, worker_id: int) -> None:
             # each graph doesn't spend its deadline on generation (uk07's
             # crawl takes the longest).  A failed warm is non-fatal: the
             # cell will just build lazily, exactly as before.
+            generated = True
             try:
-                from repro.graphs.datasets import get_dataset
+                from repro.graphs import datasets
 
-                dataset = get_dataset(task["graph"])
+                before = datasets.generation_count()
+                dataset = datasets.get_dataset(task["graph"])
                 dataset.build()
                 dataset.build_symmetric()
+                # With the artifact store warm this stays at zero: every
+                # worker mmaps the same published shard files instead of
+                # regenerating the graph per process.
+                generated = datasets.generation_count() > before
             except faults.FatalFault:
                 os._exit(FATAL_EXIT)
             except Exception:
                 pass
             with beat.lock:
-                conn.send((heartbeat.PREBUILT, worker_id, task["id"]))
+                conn.send((heartbeat.PREBUILT, worker_id, task["id"],
+                           generated))
             continue
         plan.strike(task["system"], task["app"], task["graph"],
                     task["attempt"])

@@ -10,8 +10,15 @@ Scatter/gather reductions all route through :mod:`repro.sparse.segreduce`,
 the fast-path engine that picks the best numpy plan per monoid/dtype;
 sorted-row intersections route through :mod:`repro.sparse.join`, its
 merge-join counterpart.
+
+Out-of-core storage lives in :mod:`repro.sparse.blocked`: a
+:class:`~repro.sparse.blocked.BlockedCSR` partitions a matrix into
+row-range shards (each one a local :class:`~repro.sparse.csr.CSRMatrix`
+with its own plan-cache slots), and the SpMV/SpGEMM kernels accept it
+directly, iterating shard-by-shard with bit-identical results.
 """
 
+from repro.sparse.blocked import BlockedCSR, CSRShard, row_slice, shard_bounds
 from repro.sparse.csr import CSRMatrix, build_csr, expand_ranges, gather_rows
 from repro.sparse.join import (
     JoinResult,
@@ -35,7 +42,9 @@ from repro.sparse.semiring_ops import (
 
 __all__ = [
     "BinaryFn",
+    "BlockedCSR",
     "CSRMatrix",
+    "CSRShard",
     "JoinResult",
     "MonoidFn",
     "SegmentReducer",
@@ -49,6 +58,8 @@ __all__ = [
     "join_sorted",
     "masked_row_join",
     "row_pair_join",
+    "row_slice",
     "scatter_reduce",
     "segment_reduce",
+    "shard_bounds",
 ]

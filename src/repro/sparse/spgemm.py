@@ -49,7 +49,16 @@ def spgemm_saxpy(
     out_dtype=np.float64,
     batch_flops: int = DEFAULT_BATCH_FLOPS,
 ) -> Tuple[CSRMatrix, int]:
-    """Row-batched SAXPY (Gustavson-style) SpGEMM.  Returns ``(C, flops)``."""
+    """Row-batched SAXPY (Gustavson-style) SpGEMM.  Returns ``(C, flops)``.
+
+    A :class:`repro.sparse.blocked.BlockedCSR` left operand runs
+    shard-by-shard (bit-identical result, O(shard) expansion buffers).
+    """
+    if hasattr(A, "shards"):
+        from repro.sparse import blocked
+
+        return blocked.spgemm_saxpy(A, B, add, mult, out_dtype=out_dtype,
+                                    batch_flops=batch_flops)
     if A.ncols != B.nrows:
         raise DimensionMismatch(f"inner dimensions differ: {A.ncols} vs {B.nrows}")
     out_dtype = np.dtype(out_dtype)
@@ -135,7 +144,15 @@ def spgemm_masked_dot(
     engine (:mod:`repro.sparse.join`); the operand value casts are hoisted
     to one whole-array cast per side (the seed re-materialized Bt's values
     inside its per-row loop — O(nrows * nnz)).
+
+    A :class:`repro.sparse.blocked.BlockedCSR` left operand joins
+    shard-by-shard, with the mask row-sliced along the shard bounds.
     """
+    if hasattr(A, "shards"):
+        from repro.sparse import blocked
+
+        return blocked.spgemm_masked_dot(A, Bt, mask, add, mult,
+                                         out_dtype=out_dtype)
     if A.nrows != mask.nrows or Bt.nrows != mask.ncols:
         raise DimensionMismatch("mask shape must match A.nrows x Bt.nrows")
     out_dtype = np.dtype(out_dtype)

@@ -35,7 +35,14 @@ def spmv_pull(
 
     Returns ``(y, touched, flops)`` where ``touched[i]`` says row ``i`` had at
     least one explicit entry (so ``y[i]`` is a real value, not the identity).
+
+    A :class:`repro.sparse.blocked.BlockedCSR` operand runs shard-by-shard
+    (bit-identical result, O(shard) working set).
     """
+    if hasattr(A, "shards"):
+        from repro.sparse import blocked
+
+        return blocked.spmv_pull(A, x, add, mult, out_dtype=out_dtype)
     out_dtype = np.dtype(out_dtype or x.dtype)
     nnz = A.nvals
     rows = A.row_ids()
@@ -62,7 +69,15 @@ def vxm_push(
 
     ``x_idx``/``x_vals`` are the explicit entries of the sparse input.
     Returns ``(y_idx, y_vals, flops)`` with ``y_idx`` sorted ascending.
+
+    A :class:`repro.sparse.blocked.BlockedCSR` operand runs shard-by-shard
+    (bit-identical result for the sorted frontiers every caller passes).
     """
+    if hasattr(A, "shards"):
+        from repro.sparse import blocked
+
+        return blocked.vxm_push(A, x_idx, x_vals, add, mult,
+                                out_dtype=out_dtype)
     out_dtype = np.dtype(out_dtype or x_vals.dtype)
     if len(x_idx) == 0:
         empty = np.empty(0, dtype=np.int64)

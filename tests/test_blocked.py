@@ -1,0 +1,255 @@
+"""Blocked CSR: shard geometry, kernel equivalence, mmap immutability.
+
+The contract under test is the one DESIGN.md §2e states: sharding changes
+*where the bytes live*, never *what the kernels compute* — every blocked
+kernel must be byte-identical to its monolithic twin at any shard
+geometry, and no kernel may ever write into a shard's (possibly
+mmap-backed, read-only) arrays.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import InvalidValue
+from repro.sparse.blocked import (
+    DEFAULT_SHARD_ROWS,
+    BlockedCSR,
+    CSRShard,
+    row_slice,
+    shard_bounds,
+    shard_rows_from_env,
+)
+from repro.sparse.csr import CSRMatrix, build_csr
+from repro.sparse.semiring_ops import BINARY_FNS, MONOID_FNS
+from repro.sparse.spgemm import spgemm_masked_dot, spgemm_saxpy
+from repro.sparse.spmv import spmv_pull, vxm_push
+
+PLUS = MONOID_FNS["plus"]
+MIN = MONOID_FNS["min"]
+TIMES = BINARY_FNS["times"]
+
+SHARD_SIZES = (1, 7, 64, 1000)
+
+
+def random_csr(n, m, density, seed, values=True):
+    mat = sp.random(n, m, density=density, random_state=seed).tocsr()
+    coo = mat.tocoo()
+    data = coo.data if values else None
+    return build_csr(n, m, coo.row, coo.col, data)
+
+
+class TestGeometry:
+    def test_shard_bounds_cover_rows_exactly(self):
+        assert shard_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert shard_bounds(8, 4) == [(0, 4), (4, 8)]
+        assert shard_bounds(3, 100) == [(0, 3)]
+
+    def test_empty_matrix_still_has_one_shard(self):
+        assert shard_bounds(0, 4) == [(0, 0)]
+        B = BlockedCSR.from_csr(build_csr(0, 0, [], [], None))
+        assert B.nshards == 1 and B.nvals == 0
+
+    def test_shard_rows_from_env(self):
+        assert shard_rows_from_env({}) == DEFAULT_SHARD_ROWS
+        assert shard_rows_from_env({"REPRO_SHARD_ROWS": "128"}) == 128
+        with pytest.raises(InvalidValue):
+            shard_rows_from_env({"REPRO_SHARD_ROWS": "zero"})
+        with pytest.raises(InvalidValue):
+            shard_rows_from_env({"REPRO_SHARD_ROWS": "0"})
+
+    def test_row_slice_is_zero_copy_with_local_indptr(self):
+        A = random_csr(50, 30, 0.2, 1)
+        local = row_slice(A, 10, 20)
+        assert local.nrows == 10 and local.ncols == 30
+        assert local.indptr[0] == 0
+        assert local.nvals == A.indptr[20] - A.indptr[10]
+        # indices/values are views into the parent arrays, not copies.
+        assert local.indices.base is not None
+        assert np.shares_memory(local.indices, A.indices)
+        assert np.shares_memory(local.values, A.values)
+
+    def test_from_csr_metadata(self):
+        A = random_csr(100, 40, 0.15, 2)
+        B = BlockedCSR.from_csr(A, shard_rows=32)
+        assert B.nshards == 4
+        assert B.nvals == A.nvals
+        assert sum(s.nnz for s in B.shards) == A.nvals
+        degrees = np.diff(A.indptr)
+        for shard in B.shards:
+            d = degrees[shard.row_start:shard.row_stop]
+            assert shard.degree_min == int(d.min())
+            assert shard.degree_max == int(d.max())
+        assert np.array_equal(B.row_degrees(), degrees)
+
+    def test_each_shard_carries_its_own_plan_cache(self):
+        A = random_csr(60, 60, 0.1, 3)
+        B = BlockedCSR.from_csr(A, shard_rows=20)
+        B.reduce_rows(PLUS)  # populates each shard's plan cache
+        caches = [s.csr._plan_cache for s in B.shards]
+        if any(c is not None for c in caches):  # REPRO_PLAN_CACHE on
+            assert all(c is not None for c in caches)
+            assert len({id(c) for c in caches}) == B.nshards
+        assert A._plan_cache is None  # the parent matrix stays untouched
+
+
+class TestLazyShards:
+    def test_loader_called_once_then_cached(self):
+        calls = []
+        local = random_csr(10, 10, 0.3, 4)
+
+        def loader():
+            calls.append(1)
+            return local
+
+        shard = CSRShard(0, 10, loader=loader, nnz=local.nvals,
+                         degree_min=0, degree_max=10)
+        assert not shard.loaded
+        assert shard.csr is local and shard.csr is local
+        assert len(calls) == 1
+        shard.release()
+        assert not shard.loaded
+        assert shard.csr is local and len(calls) == 2
+
+    def test_metadata_available_without_loading(self):
+        shard = CSRShard(0, 10, loader=lambda: 1 / 0, nnz=7,
+                         degree_min=0, degree_max=3)
+        assert shard.nnz == 7 and shard.nrows == 10
+        assert not shard.loaded
+
+
+class TestKernelEquivalence:
+    """Blocked kernels must be byte-identical at every shard geometry."""
+
+    @pytest.mark.parametrize("shard_rows", SHARD_SIZES)
+    def test_spmv_pull(self, shard_rows):
+        A = random_csr(200, 200, 0.05, 5)
+        x = np.random.default_rng(6).random(200)
+        y0, t0, f0 = spmv_pull(A, x, PLUS, TIMES)
+        y1, t1, f1 = spmv_pull(BlockedCSR.from_csr(A, shard_rows), x,
+                               PLUS, TIMES)
+        assert y0.tobytes() == y1.tobytes()
+        assert np.array_equal(t0, t1)
+        assert f0 == f1
+
+    @pytest.mark.parametrize("shard_rows", SHARD_SIZES)
+    def test_spmv_pull_min_plus(self, shard_rows):
+        A = random_csr(150, 150, 0.08, 7)
+        x = np.arange(150, dtype=np.float64)
+        y0, _, _ = spmv_pull(A, x, MIN, BINARY_FNS["plus"])
+        y1, _, _ = spmv_pull(BlockedCSR.from_csr(A, shard_rows), x,
+                             MIN, BINARY_FNS["plus"])
+        assert y0.tobytes() == y1.tobytes()
+
+    @pytest.mark.parametrize("shard_rows", SHARD_SIZES)
+    def test_vxm_push(self, shard_rows):
+        A = random_csr(180, 180, 0.06, 8)
+        x_idx = np.array([0, 3, 50, 99, 140, 179], dtype=np.int64)
+        x_val = np.random.default_rng(9).random(len(x_idx))
+        i0, v0, f0 = vxm_push(A, x_idx, x_val, PLUS, TIMES)
+        i1, v1, f1 = vxm_push(BlockedCSR.from_csr(A, shard_rows), x_idx,
+                              x_val, PLUS, TIMES)
+        assert np.array_equal(i0, i1)
+        assert v0.tobytes() == v1.tobytes()
+        assert f0 == f1
+
+    @pytest.mark.parametrize("shard_rows", SHARD_SIZES)
+    def test_vxm_push_empty_frontier(self, shard_rows):
+        A = BlockedCSR.from_csr(random_csr(40, 40, 0.1, 10), shard_rows)
+        i, v, f = vxm_push(A, np.array([], dtype=np.int64),
+                           np.array([]), PLUS, TIMES)
+        assert len(i) == 0 and len(v) == 0 and f == 0
+
+    @pytest.mark.parametrize("shard_rows", SHARD_SIZES)
+    def test_spgemm_saxpy(self, shard_rows):
+        A = random_csr(120, 90, 0.08, 11)
+        B = random_csr(90, 70, 0.08, 12)
+        C0, f0 = spgemm_saxpy(A, B, PLUS, TIMES)
+        C1, f1 = spgemm_saxpy(BlockedCSR.from_csr(A, shard_rows), B,
+                              PLUS, TIMES)
+        assert C0.indptr.tobytes() == C1.indptr.tobytes()
+        assert C0.indices.tobytes() == C1.indices.tobytes()
+        assert C0.values.tobytes() == C1.values.tobytes()
+        assert f0 == f1
+
+    @pytest.mark.parametrize("shard_rows", SHARD_SIZES)
+    def test_spgemm_masked_dot(self, shard_rows):
+        # Triangle-counting form: C<L> = L @ L' with an unweighted L.
+        A = random_csr(100, 100, 0.1, 13, values=False)
+        tri = sp.tril(sp.csr_matrix(
+            (np.ones(A.nvals), A.indices, A.indptr), (100, 100)),
+            k=-1).tocsr()
+        coo = tri.tocoo()
+        L = build_csr(100, 100, coo.row, coo.col, None)
+        C0, w0 = spgemm_masked_dot(L, L, L, PLUS, BINARY_FNS["pair"])
+        C1, w1 = spgemm_masked_dot(BlockedCSR.from_csr(L, shard_rows), L,
+                                   L, PLUS, BINARY_FNS["pair"])
+        assert C0.indptr.tobytes() == C1.indptr.tobytes()
+        assert C0.indices.tobytes() == C1.indices.tobytes()
+        assert C0.values.tobytes() == C1.values.tobytes()
+        assert w0 == w1
+
+    @pytest.mark.parametrize("shard_rows", SHARD_SIZES)
+    def test_to_csr_roundtrip(self, shard_rows):
+        A = random_csr(130, 75, 0.1, 14)
+        M = BlockedCSR.from_csr(A, shard_rows).to_csr()
+        assert M.indptr.tobytes() == A.indptr.tobytes()
+        assert M.indices.tobytes() == A.indices.tobytes()
+        assert M.values.tobytes() == A.values.tobytes()
+
+    @pytest.mark.parametrize("shard_rows", SHARD_SIZES)
+    def test_reduce_rows(self, shard_rows):
+        from repro.sparse.segreduce import segment_reduce
+
+        A = random_csr(90, 90, 0.12, 15)
+        B = BlockedCSR.from_csr(A, shard_rows)
+        expect = segment_reduce(A.values, None, A.nrows, PLUS,
+                                dtype=np.float64, row_splits=A.indptr)
+        got = B.reduce_rows(PLUS)
+        assert got.tobytes() == expect.tobytes()
+
+
+class TestReadOnlyDiscipline:
+    """Kernels must never write into shard backing arrays.
+
+    Artifact-store shards are mmap'd read-only; a kernel that mutates its
+    input in place would fault in production.  Pinning the arrays
+    read-only here makes any such write a loud ValueError.
+    """
+
+    @staticmethod
+    def _frozen_blocked(n=150, density=0.07, seed=16, shard_rows=48,
+                        values=True):
+        A = random_csr(n, n, density, seed, values=values)
+        B = BlockedCSR.from_csr(A, shard_rows)
+        for shard in B.shards:
+            shard.csr.indptr.setflags(write=False)
+            shard.csr.indices.setflags(write=False)
+            if shard.csr.values is not None:
+                shard.csr.values.setflags(write=False)
+        return A, B
+
+    def test_kernels_leave_frozen_shards_untouched(self):
+        A, B = self._frozen_blocked()
+        x = np.random.default_rng(17).random(A.nrows)
+        spmv_pull(B, x, PLUS, TIMES)
+        vxm_push(B, np.array([2, 30, 77], dtype=np.int64),
+                 np.array([1.0, 2.0, 3.0]), PLUS, TIMES)
+        spgemm_saxpy(B, A, PLUS, TIMES)
+        B.row_degrees()
+        B.reduce_rows(PLUS)
+        before = [s.csr.indices.tobytes() for s in B.shards]
+        B.to_csr()
+        assert [s.csr.indices.tobytes() for s in B.shards] == before
+
+    def test_masked_dot_on_frozen_pattern(self):
+        A, B = self._frozen_blocked(values=False)
+        spgemm_masked_dot(B, A, A, PLUS, BINARY_FNS["pair"])
+
+    def test_single_shard_to_csr_is_the_shard_itself(self):
+        A, B = self._frozen_blocked(shard_rows=10**6)
+        assert B.nshards == 1
+        M = B.to_csr()
+        # Zero-copy: an mmap-backed single-shard graph stays read-only.
+        assert np.shares_memory(M.indices, B.shards[0].csr.indices)
+        assert not M.indices.flags.writeable
