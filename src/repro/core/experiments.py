@@ -40,13 +40,16 @@ from repro.core.systems import APPLICATIONS, TIMEOUT_SECONDS, make_system
 from repro.graphs.datasets import DATASETS, get_dataset
 from repro.perf.costmodel import THREAD_POINTS
 
-#: Status codes matching Table II's annotations, plus the harness's ERR.
+#: Status codes matching Table II's annotations, plus the harness's ERR
+#: and the governor's CANCELLED (cooperative deadline cancellation — the
+#: cell exited cleanly at an OpEvent boundary with a partial trace).
 OK = "ok"
 TIMEOUT = "TO"
 OOM = "OOM"
 ERR = "ERR"
+CANCELLED = "CANCELLED"
 
-STATUSES = (OK, TIMEOUT, OOM, ERR)
+STATUSES = (OK, TIMEOUT, OOM, ERR, CANCELLED)
 
 #: Table column order — the paper's Table I graph order.
 GRAPH_ORDER = (
@@ -240,6 +243,10 @@ def _attempt_cell(system, app, dataset, timeout, wall_budget):
         info = _error_info(exc)
         info["transient"] = True
         return ERR, None, info, instance.machine
+    except errors.Cancelled as exc:
+        # Cooperative deadline cancellation: the machine carries the
+        # partial trace (events + counters up to the last boundary).
+        return CANCELLED, None, _error_info(exc), instance.machine
     except Exception as exc:  # ReproError and harness bugs alike -> ERR
         return ERR, None, _error_info(exc), instance.machine
 

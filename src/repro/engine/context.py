@@ -14,8 +14,15 @@ preprocessing, ad-hoc passes) are recorded as synthetic ``loop`` events, so
 holds *by construction* — the invariant the cross-stack parity test and
 :mod:`repro.engine.analysis` rely on.
 
+Loop and round hooks double as the *cooperative cancellation* boundary:
+each calls :func:`repro.engine.cancel.check`, so a cell whose
+:class:`~repro.engine.cancel.CancelToken` has tripped unwinds at the next
+charged loop with :class:`repro.errors.Cancelled` — emitters close spans
+in ``finally`` blocks, so the partial event trace survives.
+
 This module deliberately imports nothing from the rest of ``repro`` except
-:mod:`repro.engine.events`, keeping the dependency arrow pointing one way:
+:mod:`repro.engine.events` and the leaf modules :mod:`repro.engine.cancel`
+/ :mod:`repro.errors`, keeping the dependency arrow pointing one way:
 ``perf.machine`` -> ``engine.context`` -> ``engine.events``.
 """
 
@@ -24,6 +31,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import List, Tuple
 
+from repro.engine import cancel
 from repro.engine.events import OpEvent
 
 
@@ -44,7 +52,9 @@ class ExecutionContext:
 
         Loops are attributed to the innermost open span; a parallel loop
         charged outside any span becomes a synthetic ``loop`` event.
+        Every charged loop is also a cancellation boundary.
         """
+        cancel.check()
         if self._spans:
             span = self._spans[-1]
             if parallel:
@@ -58,6 +68,7 @@ class ExecutionContext:
 
     def on_round(self, round_id: int) -> None:
         """Called by :meth:`Machine.round`: record the round boundary."""
+        cancel.check()
         self._round_id = int(round_id)
         self._events.append(OpEvent(kind="round", round_id=self._round_id))
 

@@ -69,6 +69,23 @@ class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its round budget."""
 
 
+class Cancelled(ReproError):
+    """A cell was cancelled cooperatively at an OpEvent boundary.
+
+    Raised by :func:`repro.engine.cancel.check` when the installed
+    :class:`~repro.engine.cancel.CancelToken` has tripped (job deadline
+    expired, or a supervisor requested cancellation).  Distinct from
+    :class:`WallClockExceeded` — that is the blunt in-process watchdog
+    yielding an ``ERR`` cell, while cooperative cancellation unwinds
+    cleanly through span ``finally`` blocks and yields a ``CANCELLED``
+    cell carrying the partial OpEvent trace.
+    """
+
+    def __init__(self, message, reason="cancelled"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class AdmissionDenied(ReproError):
     """The job queue refused a submission (tenant over its active-job cap).
 

@@ -12,8 +12,17 @@ from repro import errors
 #: Trip-point names compiled into the harness.
 SITES = ("kernel", "alloc")
 
-#: Injectable fault kinds.
-KINDS = ("fault", "oom", "timeout", "fatal")
+#: Injectable fault kinds.  The first four *raise*; the last two are
+#: side-effect kinds that *act* at the trip point and let the cell keep
+#: running: ``memhog`` allocates (and pins) ``mb`` MiB of real memory per
+#: firing to drive RSS up against ``REPRO_WORKER_MEM_BUDGET``, and
+#: ``slow`` sleeps ``ms`` milliseconds per firing to burn wall clock
+#: against a job deadline.  Both exist so the governor drills (OOM kill,
+#: cooperative cancellation, drain under load) replay deterministically.
+KINDS = ("fault", "oom", "timeout", "fatal", "memhog", "slow")
+
+#: Kinds that perform a side effect instead of raising.
+ACTING_KINDS = ("memhog", "slow")
 
 
 class InjectedFault(errors.ReproError):
@@ -69,6 +78,10 @@ class FaultSpec:
     nth: int = 1
     times: int = 1
     transient: bool = False
+    #: ``memhog`` only: MiB of touched memory pinned per firing.
+    mb: int = 16
+    #: ``slow`` only: milliseconds slept per firing.
+    ms: int = 100
 
     def __post_init__(self):
         if self.site not in SITES + ("*",):
@@ -83,6 +96,13 @@ class FaultSpec:
         if self.times < 0:
             raise errors.InvalidValue("fault times must be >= 0 "
                                       "(0 = forever)")
+        if self.mb < 1 or self.ms < 1:
+            raise errors.InvalidValue("fault mb/ms must be >= 1; got "
+                                      f"mb={self.mb}, ms={self.ms}")
+        if self.transient and self.kind in ACTING_KINDS:
+            raise errors.InvalidValue(
+                f"fault kind {self.kind!r} acts instead of raising; "
+                "'transient' does not apply")
 
     def matches(self, site: str, count: int) -> bool:
         """Whether this spec fires for the ``count``-th trip at ``site``."""
@@ -118,16 +138,38 @@ class FaultPlan:
         self.counts = {site: 0 for site in SITES}
         #: Faults raised so far, as (site, count, kind, transient) tuples.
         self.fired: List[tuple] = []
+        #: ``memhog`` ballast: referenced so the pages stay resident and
+        #: the process RSS genuinely rises until the plan is dropped.
+        self.ballast: List[object] = []
 
     def trip(self, site: str, label: str = "") -> None:
-        """Advance the site counter; raise if any spec (or the rate) fires."""
+        """Advance the site counter; raise or act if any spec (or the
+        rate) fires.  Side-effect kinds (``memhog``/``slow``) act and
+        fall through so the cell keeps running."""
         count = self.counts.get(site, 0) + 1
         self.counts[site] = count
         for spec in self.specs:
             if spec.matches(site, count):
-                self._raise(site, count, spec.kind, spec.transient, label)
+                if spec.kind in ACTING_KINDS:
+                    self._act(site, count, spec)
+                else:
+                    self._raise(site, count, spec.kind, spec.transient,
+                                label)
         if self._rng is not None and self._rng.random() < self.rate:
             self._raise(site, count, "fault", True, label)
+
+    def _act(self, site: str, count: int, spec: FaultSpec) -> None:
+        self.fired.append((site, count, spec.kind, False))
+        if spec.kind == "memhog":
+            import numpy as np
+
+            block = np.empty(spec.mb << 20, dtype=np.uint8)
+            block[::4096] = 1  # touch every page so RSS actually grows
+            self.ballast.append(block)
+        elif spec.kind == "slow":
+            import time
+
+            time.sleep(spec.ms / 1000.0)
 
     def _raise(self, site: str, count: int, kind: str, transient: bool,
                label: str):
@@ -189,18 +231,20 @@ def trip(site: str, label: str = "") -> None:
 # ----------------------------------------------------------------------
 
 def parse_spec(text: str) -> FaultSpec:
-    """Parse one ``site:kind[:transient][:nth=N][:times=N]`` spec."""
+    """Parse one ``site:kind[:transient][:nth=N][:times=N][:mb=N][:ms=N]``
+    spec."""
     parts = [p.strip() for p in text.split(":") if p.strip()]
     if len(parts) < 2:
         raise errors.InvalidValue(
             f"bad fault spec {text!r}: want site:kind[:transient][:nth=N]"
-            "[:times=N]")
+            "[:times=N][:mb=N][:ms=N]")
     site, kind = parts[0], parts[1]
     kwargs = {"site": site, "kind": kind}
     for extra in parts[2:]:
         if extra == "transient":
             kwargs["transient"] = True
-        elif extra.startswith("nth=") or extra.startswith("times="):
+        elif (extra.startswith("nth=") or extra.startswith("times=")
+              or extra.startswith("mb=") or extra.startswith("ms=")):
             key, _, value = extra.partition("=")
             try:
                 kwargs[key] = int(value)

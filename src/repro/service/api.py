@@ -16,7 +16,8 @@ Routes::
     GET  /jobs/<id>/result         committed result row (409 until done)
     GET  /jobs/<id>/events?since=N progress stream (long-poll cursor)
     POST /jobs                     submit {system, app, graph, params?,
-                                   tenant?, priority?, idem_key?}
+                                   tenant?, priority?, idem_key?,
+                                   deadline_ms?}
 
 Error mapping: a malformed request is **400** (:class:`repro.errors.
 InvalidValue` — did-you-mean text included verbatim), tenant admission
@@ -24,6 +25,14 @@ rejection is **429** (:class:`repro.errors.AdmissionDenied`), unknown
 paths and ids are **404**.  ``POST /jobs`` answers **200** when the
 idempotency key matched an existing job and **201** when it created one —
 clients can tell a dedup from a fresh accept.
+
+Load shedding: when ``REPRO_QUEUE_HIGH_WATER`` / ``REPRO_QUEUE_MAX_WAIT``
+watermarks are configured and the queue is past them (depth, or how long
+the oldest ready job has waited), ``POST /jobs`` answers **503** with a
+``Retry-After`` header instead of accepting work it cannot serve in time
+— shed at the door, not after the deadline has already burned in the
+queue.  ``GET /health`` reports the same decision as ``shedding`` so
+clients can back off before submitting.
 
 Progress streaming is poll-based rather than chunked: ``/events?since=N``
 returns every event after sequence ``N`` (heartbeats the drain supervisor
@@ -41,6 +50,7 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro import errors
+from repro.service import governor
 from repro.service.config import QueueConfig
 from repro.service.queue import JobQueue
 
@@ -60,13 +70,22 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _reply(self, code: int, payload) -> None:
+    def _reply(self, code: int, payload, headers=None) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
+
+    def _shed(self, queue: JobQueue):
+        """The admission-control decision for this request (None = admit)."""
+        config = queue.config
+        return governor.shed_decision(
+            queue.counts(), queue.oldest_ready_wait(),
+            config.high_water, config.max_wait)
 
     def _with_queue(self, fn) -> None:
         queue = JobQueue(self.queue_path, config=self.queue_config)
@@ -99,8 +118,11 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
 
         if parts == ["health"]:
-            return self._with_queue(lambda q: self._reply(
-                200, {"ok": True, "queue": q.path, "counts": q.counts()}))
+            def _health(q):
+                shed = self._shed(q)
+                self._reply(200, {"ok": True, "queue": q.path,
+                                  "counts": q.counts(), "shedding": shed})
+            return self._with_queue(_health)
         if parts == ["systems"]:
             from repro.engine.registry import catalog
 
@@ -170,13 +192,23 @@ class _Handler(BaseHTTPRequestHandler):
         def _submit(q):
             existing = (q.find(body["idem_key"])
                         if body.get("idem_key") is not None else None)
+            if existing is None:
+                # Idempotent resubmits always answer (the job is already
+                # in); only *new* work is shed at the watermark.
+                shed = self._shed(q)
+                if shed is not None:
+                    self._reply(503, {"error": "queue over high water; "
+                                               "retry later", "shed": shed},
+                                headers={"Retry-After": shed["retry_after"]})
+                    return
             job = q.submit(
                 body["system"], body["app"], body["graph"],
                 params=body.get("params"),
                 tenant=body.get("tenant", "default"),
                 priority=int(body.get("priority", 0)),
                 idem_key=body.get("idem_key"),
-                max_attempts=body.get("max_attempts"))
+                max_attempts=body.get("max_attempts"),
+                deadline_ms=body.get("deadline_ms"))
             self._reply(200 if existing is not None else 201, job.to_json())
         return self._with_queue(_submit)
 

@@ -149,3 +149,11 @@ class BreakerBoard:
         """Codes whose breaker is not closed (diagnostics)."""
         return tuple(code for code, b in self.breakers.items()
                      if b.state != CLOSED)
+
+    def states(self) -> Dict[str, dict]:
+        """JSON-able per-system snapshot — the ``repro-serve status
+        --json`` view the drain supervisor publishes each tick."""
+        return {
+            code: {"state": b.state, "trips": b.trips,
+                   "consecutive_failures": b.consecutive_failures}
+            for code, b in self.breakers.items()}

@@ -62,6 +62,28 @@ DEFAULT_LEASE_SECONDS = 120.0
 #: Default per-tenant cap on open (queued + leased) jobs; 0 = unlimited.
 DEFAULT_TENANT_MAX_ACTIVE = 0
 
+#: Default job wall-clock budget in milliseconds; 0 = no deadline.
+DEFAULT_JOB_DEADLINE_MS = 0.0
+
+#: Default per-worker RSS budget in MiB; 0 = memory governor off.
+DEFAULT_WORKER_MEM_BUDGET_MB = 0.0
+
+#: Default open-job count (queued + leased) above which the API sheds;
+#: 0 = load shedding off.
+DEFAULT_QUEUE_HIGH_WATER = 0
+
+#: Default seconds the oldest dispatchable job may wait before the API
+#: sheds on lease latency; 0 = latency watermark off.
+DEFAULT_QUEUE_MAX_WAIT = 0.0
+
+#: Default grace seconds past a propagated deadline before the
+#: supervisor hard-kills a worker that failed to cancel cooperatively.
+DEFAULT_CANCEL_GRACE = 5.0
+
+#: Default seconds a draining supervisor waits for in-flight jobs to
+#: finish before failing them back to the queue.
+DEFAULT_DRAIN_GRACE = 30.0
+
 #: Every complete REPRO_* knob name any part of the harness reads — the
 #: source of truth for :func:`validate_env_knobs`.  A lint-style test
 #: (tests/test_env_knobs_doc.py) asserts this set matches the knobs the
@@ -98,6 +120,12 @@ KNOWN_KNOBS = frozenset({
     "REPRO_ARTIFACTS",
     "REPRO_ARTIFACT_DIR",
     "REPRO_SHARD_ROWS",
+    "REPRO_JOB_DEADLINE",
+    "REPRO_WORKER_MEM_BUDGET",
+    "REPRO_QUEUE_HIGH_WATER",
+    "REPRO_QUEUE_MAX_WAIT",
+    "REPRO_CANCEL_GRACE",
+    "REPRO_DRAIN_GRACE",
 })
 
 
@@ -151,6 +179,20 @@ def _positive_float(env: dict, name: str, default: float) -> float:
     return value
 
 
+def _nonnegative_float(env: dict, name: str, default: float) -> float:
+    raw = env.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise errors.InvalidValue(
+            f"{name} wants a number, got {raw!r}") from None
+    if value < 0:
+        raise errors.InvalidValue(f"{name} must be >= 0; got {value}")
+    return value
+
+
 def _nonnegative_int(env: dict, name: str, default: int) -> int:
     raw = env.get(name, "").strip()
     if not raw:
@@ -189,6 +231,20 @@ class ServiceConfig:
     breaker_cooldown: int = DEFAULT_BREAKER_COOLDOWN
     #: System codes whose breaker is forced open for the whole run.
     breaker_force_open: Tuple[str, ...] = field(default_factory=tuple)
+    #: Per-worker RSS budget in MiB; a worker exceeding it is reaped and
+    #: the memory governor classifies the loss as an OOM kill.  0 = off.
+    mem_budget_mb: float = DEFAULT_WORKER_MEM_BUDGET_MB
+    #: Grace seconds past a propagated deadline before a worker that
+    #: failed to cancel cooperatively is hard-killed.
+    cancel_grace: float = DEFAULT_CANCEL_GRACE
+    #: Seconds a draining supervisor waits for in-flight jobs before
+    #: failing them back to the queue.
+    drain_grace: float = DEFAULT_DRAIN_GRACE
+
+    @property
+    def mem_budget_bytes(self) -> int:
+        """The worker RSS budget in bytes (0 = governor off)."""
+        return int(self.mem_budget_mb * 2**20)
 
     def __post_init__(self):
         if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
@@ -204,6 +260,12 @@ class ServiceConfig:
         if self.max_crashes < 1:
             raise errors.InvalidValue(
                 f"max crashes must be >= 1; got {self.max_crashes}")
+        if self.mem_budget_mb < 0:
+            raise errors.InvalidValue(
+                "worker memory budget must be >= 0 (0 = off); got "
+                f"{self.mem_budget_mb}")
+        if self.cancel_grace <= 0 or self.drain_grace <= 0:
+            raise errors.InvalidValue("cancel/drain grace must be > 0")
 
     @classmethod
     def from_env(cls, environ: Optional[dict] = None) -> "ServiceConfig":
@@ -235,6 +297,13 @@ class ServiceConfig:
             breaker_cooldown=_nonnegative_int(
                 env, "REPRO_BREAKER_COOLDOWN", DEFAULT_BREAKER_COOLDOWN),
             breaker_force_open=force,
+            mem_budget_mb=_nonnegative_float(
+                env, "REPRO_WORKER_MEM_BUDGET",
+                DEFAULT_WORKER_MEM_BUDGET_MB),
+            cancel_grace=_positive_float(
+                env, "REPRO_CANCEL_GRACE", DEFAULT_CANCEL_GRACE),
+            drain_grace=_positive_float(
+                env, "REPRO_DRAIN_GRACE", DEFAULT_DRAIN_GRACE),
         )
 
 
@@ -259,6 +328,15 @@ class QueueConfig:
     lease_seconds: float = DEFAULT_LEASE_SECONDS
     #: Per-tenant cap on open (queued + leased) jobs; 0 = unlimited.
     tenant_max_active: int = DEFAULT_TENANT_MAX_ACTIVE
+    #: Default wall-clock budget (milliseconds) stamped on submissions
+    #: that do not pass ``deadline_ms`` explicitly; 0 = no deadline.
+    job_deadline_ms: float = DEFAULT_JOB_DEADLINE_MS
+    #: Open-job count (queued + leased) above which the API sheds new
+    #: submissions with 503 + Retry-After; 0 = shedding off.
+    high_water: int = DEFAULT_QUEUE_HIGH_WATER
+    #: Seconds the oldest dispatchable job may wait before the API sheds
+    #: on lease latency; 0 = latency watermark off.
+    max_wait: float = DEFAULT_QUEUE_MAX_WAIT
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -276,6 +354,13 @@ class QueueConfig:
             raise errors.InvalidValue(
                 "tenant max active must be >= 0 (0 = unlimited); got "
                 f"{self.tenant_max_active}")
+        if self.job_deadline_ms < 0:
+            raise errors.InvalidValue(
+                "job deadline must be >= 0 ms (0 = no deadline); got "
+                f"{self.job_deadline_ms}")
+        if self.high_water < 0 or self.max_wait < 0:
+            raise errors.InvalidValue(
+                "queue high-water/max-wait must be >= 0 (0 = off)")
 
     @classmethod
     def from_env(cls, environ: Optional[dict] = None) -> "QueueConfig":
@@ -294,4 +379,10 @@ class QueueConfig:
                 env, "REPRO_LEASE_SECONDS", DEFAULT_LEASE_SECONDS),
             tenant_max_active=_nonnegative_int(
                 env, "REPRO_TENANT_MAX_ACTIVE", DEFAULT_TENANT_MAX_ACTIVE),
+            job_deadline_ms=_nonnegative_float(
+                env, "REPRO_JOB_DEADLINE", DEFAULT_JOB_DEADLINE_MS),
+            high_water=_nonnegative_int(
+                env, "REPRO_QUEUE_HIGH_WATER", DEFAULT_QUEUE_HIGH_WATER),
+            max_wait=_nonnegative_float(
+                env, "REPRO_QUEUE_MAX_WAIT", DEFAULT_QUEUE_MAX_WAIT),
         )

@@ -6,7 +6,7 @@ messages are small picklable tuples whose first element is a tag:
 Worker → supervisor::
 
     (READY,    worker_id)                # spawn finished, imports done
-    (HB,       worker_id)                # periodic liveness beat
+    (HB,       worker_id, rss_bytes)     # periodic liveness beat + RSS
     (START,    worker_id, task_id)       # task accepted, about to run
     (RESULT,   worker_id, task_id, row)  # cell finished; row is JSON-clean
     (PREBUILT, worker_id, task_id)       # dataset prewarm finished
@@ -30,8 +30,15 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Deque, Optional
+
+from repro.service import governor
+
+#: Heartbeat RSS samples the supervisor keeps per worker — enough slope
+#: for :func:`repro.service.governor.looks_like_oom` forensics, O(1) RAM.
+RSS_HISTORY = 8
 
 #: Message tags (worker → supervisor).
 READY = "ready"
@@ -78,8 +85,9 @@ class Heartbeat:
     def _beat(self) -> None:
         while not self._stop.wait(self._interval):
             try:
+                rss = governor.read_rss_bytes()
                 with self.lock:
-                    self._conn.send((HB, self._worker_id))
+                    self._conn.send((HB, self._worker_id, rss))
             except (OSError, ValueError, BrokenPipeError):
                 return  # supervisor went away; nothing left to tell
 
@@ -90,28 +98,45 @@ class WorkerHealth:
 
     ``task_id``/``task_started`` track the in-flight cell (None when
     idle); ``last_beat`` is the monotonic time of the last message of any
-    kind (every message proves liveness, not just HB).
+    kind (every message proves liveness, not just HB).  ``rss``/
+    ``rss_history`` hold the heartbeat-sampled resident set (bytes) the
+    memory governor budgets against; ``task_deadline`` is the per-task
+    hard-kill backstop in seconds (None falls back to the static
+    ``cell_deadline``).
     """
 
     worker_id: int
     last_beat: float = field(default_factory=time.monotonic)
     task_id: Optional[int] = None
     task_started: Optional[float] = None
+    rss: int = 0
+    rss_history: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=RSS_HISTORY))
+    task_deadline: Optional[float] = None
 
     def beat(self) -> None:
         """Record proof of life (any received message)."""
         self.last_beat = time.monotonic()
 
-    def started(self, task_id: int) -> None:
-        """Record that the worker accepted a cell."""
+    def sample_rss(self, rss_bytes: int) -> None:
+        """Record one heartbeat-borne RSS sample."""
+        self.rss = int(rss_bytes)
+        self.rss_history.append(self.rss)
+
+    def started(self, task_id: int,
+                deadline: Optional[float] = None) -> None:
+        """Record that the worker accepted a cell (with its hard-kill
+        deadline in seconds, when the job propagated one)."""
         self.task_id = task_id
         self.task_started = time.monotonic()
+        self.task_deadline = deadline
         self.beat()
 
     def finished(self) -> None:
         """Record that the in-flight cell completed."""
         self.task_id = None
         self.task_started = None
+        self.task_deadline = None
         self.beat()
 
     def stale(self, timeout: float,
@@ -122,8 +147,15 @@ class WorkerHealth:
 
     def over_deadline(self, deadline: float,
                       now: Optional[float] = None) -> bool:
-        """True when the in-flight cell has run longer than ``deadline``."""
+        """True when the in-flight cell has run longer than its deadline.
+
+        ``deadline`` is the static default; a per-task deadline recorded
+        at :meth:`started` (job-budget remainder + cancel grace) takes
+        precedence.
+        """
         if self.task_started is None:
             return False
+        if self.task_deadline is not None:
+            deadline = self.task_deadline
         now = time.monotonic() if now is None else now
         return now - self.task_started > deadline

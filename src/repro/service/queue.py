@@ -74,8 +74,9 @@ OPEN_STATES = (QUEUED, LEASED)
 TERMINAL_STATES = (DONE, ERR, DEAD)
 
 #: Version stamp of the jobs schema (rejected when mismatched, like the
-#: cell journal's ``schema`` field).
-QUEUE_SCHEMA = 1
+#: cell journal's ``schema`` field).  v2 added the ``deadline`` column
+#: (absolute wall-clock budget for deadline propagation).
+QUEUE_SCHEMA = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS queue_meta (
@@ -96,6 +97,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     max_attempts INTEGER NOT NULL,
     lease_owner TEXT,
     lease_deadline REAL,
+    deadline REAL,
     not_before REAL NOT NULL,
     note TEXT,
     result TEXT,
@@ -147,6 +149,9 @@ class Job:
     max_attempts: int
     lease_owner: Optional[str]
     lease_deadline: Optional[float]
+    #: Absolute wall-clock instant (queue-clock domain) the job's budget
+    #: expires; None = no deadline.
+    deadline: Optional[float]
     not_before: float
     note: Optional[str]
     result: Optional[dict]
@@ -175,6 +180,7 @@ class Job:
             "max_attempts": self.max_attempts,
             "lease_owner": self.lease_owner,
             "lease_deadline": self.lease_deadline,
+            "deadline": self.deadline,
             "not_before": self.not_before,
             "note": self.note,
             "has_result": self.result is not None,
@@ -188,7 +194,8 @@ def _job_from_row(row: sqlite3.Row) -> Job:
         params=json.loads(row["params"]), priority=row["priority"],
         state=row["state"], attempts=row["attempts"],
         max_attempts=row["max_attempts"], lease_owner=row["lease_owner"],
-        lease_deadline=row["lease_deadline"], not_before=row["not_before"],
+        lease_deadline=row["lease_deadline"], deadline=row["deadline"],
+        not_before=row["not_before"],
         note=row["note"],
         result=json.loads(row["result"]) if row["result"] else None,
         created=row["created"], updated=row["updated"])
@@ -248,7 +255,8 @@ class JobQueue:
     def submit(self, system: str, app: str, graph: str,
                params: Optional[dict] = None, tenant: str = "default",
                priority: int = 0, idem_key: Optional[str] = None,
-               max_attempts: Optional[int] = None) -> Job:
+               max_attempts: Optional[int] = None,
+               deadline_ms: Optional[float] = None) -> Job:
         """Accept one job; returns the (possibly pre-existing) row.
 
         Validates the payload up front via the engine registry and the
@@ -257,6 +265,11 @@ class JobQueue:
         resubmitting a key returns the existing job — including one
         already ``done`` — which is what makes a restarted batch submit
         idempotent.
+
+        ``deadline_ms`` is the job's wall-clock budget from *submission*,
+        persisted as an absolute instant in the queue-clock domain (so
+        the whole deadline path replays under an injected clock); omitted
+        it falls back to the ``REPRO_JOB_DEADLINE`` default (0 = none).
         """
         from repro.core.experiments import validate_selection
         from repro.engine.registry import get_application, get_system
@@ -269,6 +282,22 @@ class JobQueue:
                 f"tenant must be a non-empty string; got {tenant!r}")
         params = dict(params or {})
         now = self.clock()
+
+        if deadline_ms is None:
+            default_ms = self.config.job_deadline_ms
+            deadline_ms = default_ms if default_ms > 0 else None
+        if deadline_ms is not None:
+            try:
+                deadline_ms = float(deadline_ms)
+            except (TypeError, ValueError):
+                raise errors.InvalidValue(
+                    "deadline_ms wants a number of milliseconds, got "
+                    f"{deadline_ms!r}") from None
+            if deadline_ms <= 0:
+                raise errors.InvalidValue(
+                    f"deadline_ms must be > 0; got {deadline_ms}")
+        deadline = now + deadline_ms / 1000.0 \
+            if deadline_ms is not None else None
 
         if idem_key is not None:
             existing = self._conn.execute(
@@ -292,16 +321,18 @@ class JobQueue:
             cursor = self._conn.execute(
                 "INSERT INTO jobs (idem_key, tenant, system, app, graph, "
                 "params, priority, state, attempts, max_attempts, "
-                "not_before, created, updated) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, 0, ?, 0, ?, ?)",
+                "deadline, not_before, created, updated) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, 0, ?, ?, 0, ?, ?)",
                 (idem_key, tenant, system, app, graph,
                  json.dumps(params, sort_keys=True), int(priority), QUEUED,
                  max_attempts if max_attempts is not None
-                 else self.config.max_attempts, now, now))
+                 else self.config.max_attempts, deadline, now, now))
             job_id = cursor.lastrowid
-            self._record(job_id, "submitted",
-                         {"tenant": tenant, "system": system, "app": app,
-                          "graph": graph, "priority": int(priority)})
+            detail = {"tenant": tenant, "system": system, "app": app,
+                      "graph": graph, "priority": int(priority)}
+            if deadline_ms is not None:
+                detail["deadline_ms"] = deadline_ms
+            self._record(job_id, "submitted", detail)
         return self.get(job_id)
 
     # ------------------------------------------------------------------
@@ -368,6 +399,21 @@ class JobQueue:
                 "GROUP BY tenant, state"):
             tenants.setdefault(row["tenant"], {})[row["state"]] = row["n"]
         return tenants
+
+    def oldest_ready_wait(self) -> float:
+        """Seconds the oldest dispatchable queued job has been waiting.
+
+        0.0 when nothing is dispatchable — the lease-latency signal the
+        load shedder (``REPRO_QUEUE_MAX_WAIT``) watches: a deep-but-fast
+        queue is healthy, a shallow-but-stuck one is not.
+        """
+        now = self.clock()
+        row = self._conn.execute(
+            "SELECT MIN(created) AS oldest FROM jobs "
+            "WHERE state=? AND not_before<=?", (QUEUED, now)).fetchone()
+        if row is None or row["oldest"] is None:
+            return 0.0
+        return max(0.0, now - row["oldest"])
 
     def has_open_jobs(self) -> bool:
         """True while any job is queued or leased."""
@@ -562,6 +608,33 @@ class JobQueue:
                       "orphaned lease (supervisor takeover)")
             reclaimed.append(row["id"])
         return reclaimed
+
+    # ------------------------------------------------------------------
+    # Shared metadata (supervisor -> status channel)
+    # ------------------------------------------------------------------
+    def set_meta(self, key: str, value) -> None:
+        """Publish one JSON value into ``queue_meta`` (upsert).
+
+        The drain supervisor uses this as its side of the status channel:
+        worker RSS/state and breaker snapshots land here each tick, so
+        ``repro-serve status --json`` can report them from any process
+        holding the queue path.  The ``schema`` key is reserved.
+        """
+        if key == "schema":
+            raise errors.InvalidValue("queue_meta key 'schema' is reserved")
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO queue_meta(key, value) VALUES(?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                (key, json.dumps(value, sort_keys=True)))
+
+    def get_meta(self, key: str, default=None):
+        """Read back one JSON value from ``queue_meta``."""
+        row = self._conn.execute(
+            "SELECT value FROM queue_meta WHERE key=?", (key,)).fetchone()
+        if row is None:
+            return default
+        return json.loads(row["value"])
 
     # ------------------------------------------------------------------
     # Progress events

@@ -43,7 +43,8 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import checkpoint, experiments
-from repro.core.experiments import ERR, CellResult
+from repro.core.experiments import CANCELLED, ERR, OOM, CellResult
+from repro.service import governor
 from repro.service.breaker import BreakerBoard
 from repro.service.config import ServiceConfig
 from repro.service.queue import DEAD, Job, JobQueue
@@ -53,6 +54,15 @@ from repro.service.supervisor import WorkerPool
 #: default 0.25 s heartbeat interval: one event per in-flight job per
 #: ~10 s — enough for a progress stream, cheap enough for SQLite).
 HEARTBEAT_EVENT_TICKS = 40
+
+#: Event-loop ticks between queue_meta status snapshots (worker RSS,
+#: breaker states) — the ``repro-serve status --json`` feed.
+STATUS_PUBLISH_TICKS = 8
+
+#: Times a job may be deferred for "does not fit any worker's memory
+#: budget" before it is leased and failed toward dead-letter instead —
+#: an over-budget job must not livelock the drain.
+MAX_MEM_DEFERRALS = 3
 
 
 class QueueSupervisor(WorkerPool):
@@ -77,10 +87,20 @@ class QueueSupervisor(WorkerPool):
         self.stats.update({
             "jobs": 0, "reclaimed": 0, "completed": 0, "requeued": 0,
             "deferred": 0, "rerouted": 0, "dead": 0, "stale": 0,
+            "cancelled": 0, "oom_retried": 0, "oom_quarantined": 0,
+            "mem_deferred": 0, "failed_back": 0,
         })
         #: job_id -> (leased Job snapshot, system it runs on, degraded).
         self._inflight: Dict[int, Tuple[Job, str, Optional[dict]]] = {}
         self._breakers: Optional[BreakerBoard] = None
+        #: job_id -> shard geometry for its post-OOM sharded retry.
+        self._shard_retry: Dict[int, int] = {}
+        #: job_id -> OOM kills so far (one buys the sharded retry).
+        self._oom_kills: Dict[int, int] = {}
+        #: job_id -> times deferred for not fitting the memory budget.
+        self._mem_deferrals: Dict[int, int] = {}
+        #: graph -> artifact manifest (or None), memoized per drain.
+        self._manifests: Dict[str, Optional[dict]] = {}
         self._mirror_index: Dict[int, int] = {
             job_id: index
             for index, job_id in enumerate(mirror_jobs or [])}
@@ -120,6 +140,7 @@ class QueueSupervisor(WorkerPool):
         self.stats["jobs"] = open_count
         if open_count:
             self._run_pool(min(self.pool_size, open_count))
+        self._publish_status()
         return self.queue.counts()
 
     def describe(self) -> str:
@@ -127,7 +148,9 @@ class QueueSupervisor(WorkerPool):
         s = self.stats
         parts = [f"{s['jobs']} jobs", f"{self.pool_size} workers"]
         for key in ("reclaimed", "prewarmed", "crashes", "requeued",
-                    "deferred", "rerouted", "dead", "stale"):
+                    "deferred", "rerouted", "dead", "stale", "cancelled",
+                    "mem_kills", "oom_retried", "oom_quarantined",
+                    "mem_deferred", "failed_back"):
             if s[key]:
                 parts.append(f"{s[key]} {key}")
         return "queue: " + ", ".join(parts)
@@ -185,6 +208,12 @@ class QueueSupervisor(WorkerPool):
             job = self.queue.peek_ready()
             if job is None:
                 return None
+            now = self.queue.clock()
+            if job.deadline is not None and job.deadline <= now:
+                # Budget spent while queued: settle as CANCELLED without
+                # burning a worker on a job whose caller gave up on it.
+                self._cancel_before_dispatch(job)
+                continue
             decision, fallback = self._breakers.admit(job.system)
             if decision == "defer":
                 # Open breaker, no healthy fallback: push the job's
@@ -195,6 +224,10 @@ class QueueSupervisor(WorkerPool):
                     job.id,
                     note=f"circuit breaker open for {job.system}")
                 self.stats["deferred"] += 1
+                continue
+            verdict, fit_shard_rows = self._fit(job)
+            if verdict == "no":
+                self._defer_for_memory(job)
                 continue
             leased = self.queue.lease(job.id, self.owner)
             if leased is None:
@@ -209,10 +242,94 @@ class QueueSupervisor(WorkerPool):
                 self.stats["rerouted"] += 1
                 self.queue.record(leased.id, "rerouted", degraded)
             self._inflight[leased.id] = (leased, run_system, degraded)
-            return {"id": leased.id, "system": run_system,
-                    "app": leased.app, "graph": leased.graph,
-                    "sweep": bool(leased.params.get("sweep")),
-                    "attempt": leased.attempts}
+            payload = {"id": leased.id, "system": run_system,
+                       "app": leased.app, "graph": leased.graph,
+                       "sweep": bool(leased.params.get("sweep")),
+                       "attempt": leased.attempts}
+            if leased.deadline is not None:
+                # The cell's budget is the job's *remaining* budget,
+                # still capped by the static per-cell deadline.
+                payload["deadline_seconds"] = min(
+                    self.config.cell_deadline, leased.deadline - now)
+            if leased.id in self._shard_retry:
+                payload["shard_rows"] = self._shard_retry[leased.id]
+            elif fit_shard_rows is not None:
+                payload["shard_rows"] = fit_shard_rows
+            if leased.params.get("faults"):
+                payload["faults"] = leased.params["faults"]
+            return payload
+
+    def _cancel_before_dispatch(self, job: Job) -> None:
+        """Settle an already-over-deadline queued job as ``CANCELLED``.
+
+        Still goes through lease -> complete so the commit is fenced like
+        any other: a raced writer that leased it first simply wins.
+        """
+        leased = self.queue.lease(job.id, self.owner)
+        if leased is None:
+            return
+        cell = _cancelled_cell(leased, "deadline expired before dispatch")
+        row = experiments.cell_to_row(cell)
+        if self.queue.complete(job.id, self.owner, leased.attempts, row):
+            self.stats["cancelled"] += 1
+            self._mirror(job.id, cell)
+
+    def _fit(self, job: Job):
+        """Memory-governor admission: (verdict, shard_rows_for_dispatch).
+
+        With a budget configured and artifact metadata available, a cell
+        estimated over budget monolithically but fitting shard-wise is
+        dispatched sharded up front (``shard_rows`` travels in the
+        payload) instead of waiting to OOM; one estimated over budget
+        even sharded reports ``"no"``.
+        """
+        budget = self.config.mem_budget_bytes
+        if not budget:
+            return "fits", None
+        manifest = self._manifest(job.graph)
+        verdict = governor.fit_verdict(manifest, budget)
+        if verdict == "sharded":
+            return verdict, int(manifest["shard_rows"])
+        return verdict, None
+
+    def _manifest(self, graph: str) -> Optional[dict]:
+        """The graph's artifact manifest (metadata only), memoized; None
+        when the store is off or has not published this graph."""
+        if graph not in self._manifests:
+            from repro.graphs import artifacts
+
+            manifest = None
+            store = artifacts.store_from_env()
+            if store is not None:
+                for variant in ("dir", "sym"):
+                    try:
+                        manifest = store.read_manifest(graph, variant)
+                        break
+                    except artifacts.ArtifactError:
+                        continue
+            self._manifests[graph] = manifest
+        return self._manifests[graph]
+
+    def _defer_for_memory(self, job: Job) -> bool:
+        """Defer an over-budget job, or fail it toward dead-letter after
+        :data:`MAX_MEM_DEFERRALS` — it must not livelock the drain.
+        Returns True when the job was deferred (caller keeps scanning)."""
+        deferrals = self._mem_deferrals.get(job.id, 0) + 1
+        self._mem_deferrals[job.id] = deferrals
+        if deferrals <= MAX_MEM_DEFERRALS:
+            self.queue.defer(job.id, note="exceeds worker memory budget")
+            self.stats["mem_deferred"] += 1
+            return True
+        leased = self.queue.lease(job.id, self.owner)
+        if leased is not None:
+            state = self.queue.fail(job.id, self.owner, leased.attempts,
+                                    "exceeds worker memory budget")
+            if state == DEAD:
+                self.stats["dead"] += 1
+                dead = self.queue.get(job.id)
+                if dead is not None:
+                    self._mirror(job.id, _dead_letter_cell(dead))
+        return False
 
     def _task_done(self, job_id: int, row: dict):
         entry = self._inflight.pop(job_id, None)
@@ -233,12 +350,42 @@ class QueueSupervisor(WorkerPool):
             # result must not commit a second time.
             self.stats["stale"] += 1
 
-    def _task_lost(self, job_id: int, reason: str):
+    def _task_lost(self, job_id: int, reason: str, oom: bool = False):
         entry = self._inflight.pop(job_id, None)
         if entry is None:
             return  # a prebuild (negative id); the respawn re-warms
         job, run_system, _degraded = entry
         self._breakers.record(run_system, ok=False)
+        if oom:
+            kills = self._oom_kills.get(job_id, 0) + 1
+            self._oom_kills[job_id] = kills
+            if kills == 1:
+                # First OOM kill buys one sharded retry: the requeued
+                # job redispatches with an O(shard) working set.
+                from repro.sparse.blocked import shard_rows_from_env
+
+                self._shard_retry[job_id] = shard_rows_from_env()
+                state = self.queue.fail(job_id, self.owner, job.attempts,
+                                        reason)
+                if state == DEAD:  # attempt budget ran out first
+                    self.stats["dead"] += 1
+                    dead = self.queue.get(job_id)
+                    if dead is not None:
+                        self._mirror(job_id, _dead_letter_cell(dead))
+                else:
+                    self.stats["oom_retried"] += 1
+                return
+            # Sharded retry OOMed too: quarantine as an ``OOM`` cell —
+            # a *committed result* (the paper's own status for work that
+            # cannot fit), not a dead-letter.
+            cell = _worker_oom_cell(job, kills, reason)
+            row = experiments.cell_to_row(cell)
+            if self.queue.complete(job_id, self.owner, job.attempts, row):
+                self.stats["oom_quarantined"] += 1
+                self._mirror(job_id, cell)
+            else:
+                self.stats["stale"] += 1
+            return
         state = self.queue.fail(job_id, self.owner, job.attempts, reason)
         if state == DEAD:
             self.stats["dead"] += 1
@@ -256,6 +403,60 @@ class QueueSupervisor(WorkerPool):
             if emit:
                 self.queue.record(job_id, "heartbeat",
                                   {"owner": self.owner})
+        if self._ticks % STATUS_PUBLISH_TICKS == 0:
+            self._publish_status()
+
+    def _publish_status(self):
+        """Snapshot worker RSS/state and breaker states into queue_meta —
+        the machine-readable feed ``repro-serve status --json`` reports
+        from any process holding the queue path."""
+        self.queue.set_meta("workers", [
+            {"worker_id": h.worker_id, "ready": h.ready,
+             "rss": h.health.rss, "task": h.health.task_id}
+            for h in self._workers.values()])
+        if self._breakers is not None:
+            self.queue.set_meta("breakers", self._breakers.states())
+        self.queue.set_meta("supervisor", {
+            "owner": self.owner, "draining": self._draining,
+            "stats": {k: v for k, v in self.stats.items() if v}})
+
+    def _drain_timeout(self):
+        """Drain grace expired: fail every in-flight job back to the
+        queue (requeue with backoff, or dead-letter) so no lease is left
+        dangling when the process exits."""
+        for job_id in list(self._inflight):
+            job, _run_system, _degraded = self._inflight.pop(job_id)
+            state = self.queue.fail(job_id, self.owner, job.attempts,
+                                    "drain grace expired")
+            self.stats["failed_back"] += 1
+            if state == DEAD:
+                self.stats["dead"] += 1
+                dead = self.queue.get(job_id)
+                if dead is not None:
+                    self._mirror(job_id, _dead_letter_cell(dead))
+
+
+def _cancelled_cell(job: Job, reason: str) -> CellResult:
+    """The committed record for a job cancelled before dispatch (its
+    deadline expired while it sat queued) — no partial trace exists."""
+    return CellResult(
+        system=job.system, app=job.app, graph=job.graph,
+        status=CANCELLED, seconds=None, mrss_gb=0.0, counters={},
+        answer=None, thread_sweep={}, attempts=job.attempts,
+        error={"type": "Cancelled", "message": reason, "traceback": ""})
+
+
+def _worker_oom_cell(job: Job, kills: int, reason: str) -> CellResult:
+    """The committed record for a job whose workers were OOM-killed even
+    after the sharded retry."""
+    return CellResult(
+        system=job.system, app=job.app, graph=job.graph,
+        status=OOM, seconds=None, mrss_gb=0.0, counters={}, answer=None,
+        thread_sweep={}, attempts=kills,
+        error={"type": "WorkerOOM",
+               "message": f"worker OOM-killed {kills} time(s), including "
+                          f"one sharded retry; last failure: {reason}",
+               "traceback": ""})
 
 
 def _dead_letter_cell(job: Job) -> CellResult:

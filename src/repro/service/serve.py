@@ -8,9 +8,16 @@ restart independently::
 
     repro-serve submit --queue q.db GB bfs road-USA-W --tenant alice
     repro-serve drain  --queue q.db --workers 4        # crash-safe
-    repro-serve status --queue q.db                    # incl. dead letters
+    repro-serve status --queue q.db [--json]           # incl. dead letters
     repro-serve result --queue q.db 1
     repro-serve api    --queue q.db --port 8080        # HTTP JSON API
+
+``drain`` installs a SIGTERM handler that *drains* instead of dying:
+leasing stops, in-flight cells finish (or fail back to the queue after
+``REPRO_DRAIN_GRACE`` seconds), the committer flushes, and the process
+exits 0 — ``kill -TERM`` is the graceful-shutdown path, not an outage.
+``status --json`` adds the governor's live view (per-worker RSS, breaker
+states, supervisor stats) published through the queue's meta table.
 
 Every subcommand validates the ``REPRO_*`` environment first
 (:func:`repro.service.config.validate_env_knobs`), so a typo'd knob fails
@@ -20,7 +27,9 @@ the command instead of silently running with defaults.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
 
 from repro import errors, faults
@@ -54,10 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "job instead of enqueueing a duplicate")
     p.add_argument("--sweep", action="store_true",
                    help="record the Figure 2 thread sweep for this cell")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   metavar="MS",
+                   help="total time budget for this job; past it the cell "
+                        "is cancelled cooperatively (CANCELLED, not ERR)")
+    p.add_argument("--fault", default=None, metavar="SPEC",
+                   help="per-job fault plan (REPRO_FAULTS syntax, e.g. "
+                        "kernel:memhog:mb=256) scoped to this one cell")
 
     p = sub.add_parser("status", help="queue state counts + stuck jobs")
     _add_queue_arg(p)
     p.add_argument("--tenant", default=None, help="filter to one tenant")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable status: counts, tenants, dead "
+                        "letters, plus the drain supervisor's published "
+                        "worker-RSS/breaker/drain snapshot")
 
     p = sub.add_parser("result", help="print one job's committed result")
     _add_queue_arg(p)
@@ -92,15 +112,31 @@ def _dispatch(args) -> int:
     if args.command == "submit":
         queue = JobQueue(args.queue)
         params = {"sweep": True} if args.sweep else {}
+        if args.fault:
+            params["faults"] = args.fault
         job = queue.submit(args.system, args.app, args.graph,
                            params=params, tenant=args.tenant,
-                           priority=args.priority, idem_key=args.idem_key)
+                           priority=args.priority, idem_key=args.idem_key,
+                           deadline_ms=args.deadline_ms)
         print(json.dumps(job.to_json(), sort_keys=True))
         queue.close()
         return 0
 
     if args.command == "status":
         queue = JobQueue(args.queue)
+        if args.as_json:
+            status = {
+                "counts": queue.counts(),
+                "tenants": queue.tenant_counts(),
+                "dead": [job.to_json() for job in
+                         queue.jobs(tenant=args.tenant, state=DEAD)],
+                "workers": queue.get_meta("workers", default=[]),
+                "breakers": queue.get_meta("breakers", default={}),
+                "supervisor": queue.get_meta("supervisor", default={}),
+            }
+            print(json.dumps(status, sort_keys=True))
+            queue.close()
+            return 0
         counts = queue.counts()
         print("queue:", " ".join(
             f"{state}={counts[state]}"
@@ -157,6 +193,15 @@ def _dispatch(args) -> int:
         queue = JobQueue(args.queue)
         supervisor = QueueSupervisor(queue, workers=args.workers,
                                      config=ServiceConfig.from_env())
+        # SIGTERM means "finish what you started, then leave": stop
+        # leasing, let in-flight cells land (or fail back after the drain
+        # grace), flush the committer, exit 0.  The handler only flips
+        # flags — everything async-signal-unsafe happens in the event
+        # loop.  Registration fails off the main thread (tests drive
+        # _dispatch from threads); those callers drain without the hook.
+        with contextlib.suppress(ValueError):
+            signal.signal(signal.SIGTERM,
+                          lambda signum, frame: supervisor.request_drain())
         counts = supervisor.drain()
         print(supervisor.describe(), file=sys.stderr)
         print(json.dumps(counts, sort_keys=True))

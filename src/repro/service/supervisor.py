@@ -36,6 +36,7 @@ the grid-specific policies:
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
@@ -43,12 +44,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import errors
 from repro.core import checkpoint, experiments
-from repro.core.experiments import ERR, OK, CellResult
-from repro.service import heartbeat
+from repro.core.experiments import ERR, OK, OOM, CellResult
+from repro.service import governor, heartbeat
 from repro.service.breaker import BreakerBoard
 from repro.service.chaos import ChaosPlan
 from repro.service.config import ServiceConfig
 from repro.service.worker import worker_main
+
+#: Reap reasons that mean "the worker vanished without a verdict" — the
+#: deaths the memory governor runs OOM forensics on.
+_SILENT_DEATHS = ("worker died (pipe closed)", "worker died (torn message)",
+                  "worker died (process exited)")
 
 
 @dataclass(frozen=True)
@@ -146,7 +152,7 @@ class WorkerPool:
         ChaosPlan.from_env()
         self.stats: Dict[str, int] = {
             "spawned": 0, "respawns": 0, "crashes": 0, "prewarmed": 0,
-            "prewarm_generated": 0,
+            "prewarm_generated": 0, "mem_kills": 0,
         }
         self._ctx = multiprocessing.get_context("spawn")
         self._workers: Dict[int, _WorkerHandle] = {}
@@ -157,6 +163,11 @@ class WorkerPool:
         # (import error, bad environment), not a poisonous cell — abort
         # instead of respawning forever.
         self._early_deaths = 0
+        #: Graceful-drain state: once draining, no new work dispatches,
+        #: the loop exits when the last in-flight task settles, and past
+        #: the drain deadline :meth:`_drain_timeout` fails the rest back.
+        self._draining = False
+        self._drain_deadline: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Hooks: the work source
@@ -185,9 +196,19 @@ class WorkerPool:
         """A worker returned a finished cell row for ``task_id``."""
         raise NotImplementedError
 
-    def _task_lost(self, task_id: int, reason: str) -> None:
-        """The worker holding ``task_id`` died or hung; reclaim it."""
+    def _task_lost(self, task_id: int, reason: str,
+                   oom: bool = False) -> None:
+        """The worker holding ``task_id`` died or hung; reclaim it.
+
+        ``oom=True`` marks a loss the memory governor attributed to an
+        out-of-memory kill (budget breach, or silent death with a rising
+        RSS history) — work sources retry those once in sharded mode
+        before quarantining as ``OOM``."""
         raise NotImplementedError
+
+    def _drain_timeout(self) -> None:
+        """The drain grace expired with tasks still in flight; work
+        sources fail them back to their queue before the loop exits."""
 
     def _graphs_to_warm(self) -> Iterable[str]:
         """Graphs a freshly spawned worker should prebuild."""
@@ -195,6 +216,35 @@ class WorkerPool:
 
     def _tick(self) -> None:
         """Per-loop maintenance (lease renewal, progress events)."""
+
+    # ------------------------------------------------------------------
+    # Graceful drain
+    # ------------------------------------------------------------------
+    def request_drain(self) -> None:
+        """Stop taking new work; let in-flight tasks finish.
+
+        Safe to call from a signal handler (it only sets flags): the
+        event loop notices on its next pass, stops dispatching, and exits
+        once the last in-flight task settles — or, after
+        ``config.drain_grace`` seconds, fails the stragglers back via
+        :meth:`_drain_timeout`.  Idempotent; the first call starts the
+        grace clock.
+        """
+        if not self._draining:
+            self._draining = True
+            self._drain_deadline = time.monotonic() \
+                + self.config.drain_grace
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain is in progress."""
+        return self._draining
+
+    def _busy_workers(self) -> int:
+        """Workers with an in-flight (non-warmup) task."""
+        return sum(1 for h in self._workers.values()
+                   if h.health.task_id is not None
+                   and h.health.task_id >= 0)
 
     # ------------------------------------------------------------------
     # Pool management
@@ -240,8 +290,21 @@ class WorkerPool:
             handle.conn.close()
         self._workers.clear()
 
-    def _reap(self, handle: _WorkerHandle, reason: str):
-        """Kill + account a dead/hung worker; hand its task back."""
+    def _reap(self, handle: _WorkerHandle, reason: str,
+              oom: bool = False):
+        """Kill + account a dead/hung worker; hand its task back.
+
+        ``oom=True`` marks a memory-governor kill outright; a *silent*
+        death (SIGKILL leaves only a torn pipe) is additionally run
+        through :func:`repro.service.governor.looks_like_oom` — the
+        kernel's OOM killer looks exactly like any other SIGKILL except
+        for the rising RSS history the heartbeats recorded.
+        """
+        if not oom and reason in _SILENT_DEATHS:
+            oom = governor.looks_like_oom(handle.health.rss_history,
+                                          self.config.mem_budget_bytes)
+            if oom:
+                reason = f"{reason}; RSS history reads as OOM kill"
         handle.process.kill()
         handle.process.join(timeout=5)
         try:
@@ -250,6 +313,8 @@ class WorkerPool:
             pass
         del self._workers[handle.worker_id]
         self.stats["crashes"] += 1
+        if oom:
+            self.stats["mem_kills"] += 1
         if handle.ready:
             self._early_deaths = 0
         else:
@@ -263,7 +328,7 @@ class WorkerPool:
 
         task_id = handle.health.task_id
         if task_id is not None:
-            self._task_lost(task_id, reason)
+            self._task_lost(task_id, reason, oom=oom)
 
         if not self._finished() and self._work_remains():
             self._spawn()
@@ -275,6 +340,8 @@ class WorkerPool:
     def _event_loop(self):
         tick = self.config.heartbeat_interval
         while not self._finished():
+            if self._draining and self._busy_workers() == 0:
+                break  # drained: nothing in flight, nothing new starts
             conns = {h.conn: h for h in self._workers.values()}
             for conn in _connection_wait(list(conns), timeout=tick):
                 handle = conns[conn]
@@ -293,6 +360,12 @@ class WorkerPool:
                 self._handle(handle, message)
             self._tick()
             self._check_health()
+            if self._draining:
+                if self._drain_deadline is not None \
+                        and time.monotonic() > self._drain_deadline:
+                    self._drain_timeout()
+                    break
+                continue  # no new dispatches while draining
             self._dispatch_idle()
 
     def _handle(self, handle: _WorkerHandle, message: tuple):
@@ -314,7 +387,9 @@ class WorkerPool:
             generated = message[3] if len(message) > 3 else True
             if generated:
                 self.stats["prewarm_generated"] += 1
-        # HB and START carry no state beyond proof of life.
+        elif tag == heartbeat.HB and len(message) > 2:
+            handle.health.sample_rss(message[2])
+        # START carries no state beyond proof of life.
 
     def _dispatch_idle(self):
         for handle in list(self._workers.values()):
@@ -342,17 +417,29 @@ class WorkerPool:
             self._reap(handle, "worker died (send failed)")
 
     def _send_run(self, handle: _WorkerHandle, payload: dict):
-        handle.health.started(payload["id"])
+        # A job-propagated deadline becomes the hard-kill backstop:
+        # cooperative cancellation gets the budget plus the grace window
+        # to exit cleanly before the watchdog falls back to SIGKILL.
+        deadline = None
+        if payload.get("deadline_seconds") is not None:
+            deadline = payload["deadline_seconds"] \
+                + self.config.cancel_grace
+        handle.health.started(payload["id"], deadline=deadline)
         try:
             handle.conn.send((heartbeat.RUN, payload))
         except (OSError, ValueError, BrokenPipeError):
             self._reap(handle, "worker died (send failed)")
 
     def _check_health(self):
+        budget = self.config.mem_budget_bytes
         for handle in list(self._workers.values()):
             if handle.worker_id not in self._workers:
                 continue
-            if handle.health.over_deadline(self.config.cell_deadline):
+            if budget and handle.health.rss > budget:
+                self._reap(handle, "memory budget exceeded "
+                           f"({handle.health.rss} > {budget} bytes)",
+                           oom=True)
+            elif handle.health.over_deadline(self.config.cell_deadline):
                 self._reap(handle, "cell deadline exceeded")
             elif handle.health.stale(self.config.heartbeat_timeout):
                 self._reap(handle, "heartbeat lost")
@@ -378,6 +465,7 @@ class Supervisor(WorkerPool):
         self.stats.update({
             "tasks": len(self.tasks), "recalled": 0, "completed": 0,
             "requeued": 0, "quarantined": 0, "rerouted": 0,
+            "oom_retried": 0, "oom_quarantined": 0,
         })
         # Distinct graphs in task order: each worker prebuilds the ones
         # still pending before accepting cells (negative task ids).
@@ -386,6 +474,11 @@ class Supervisor(WorkerPool):
         self._pending: deque = deque()
         self._inflight: Dict[int, tuple] = {}
         self._crashes: Dict[int, int] = {}
+        #: OOM-kill count per task index (tracked apart from generic
+        #: crashes: one OOM buys a sharded retry, two a quarantine).
+        self._oom_kills: Dict[int, int] = {}
+        #: Task index -> shard geometry for its post-OOM sharded retry.
+        self._shard_retry: Dict[int, int] = {}
         self._committer: Optional[checkpoint.OrderedCommitter] = None
         self._breakers: Optional[BreakerBoard] = None
 
@@ -455,9 +548,12 @@ class Supervisor(WorkerPool):
             self.stats["rerouted"] += 1
         attempt = self._crashes.get(task.index, 0) + 1
         self._inflight[task.index] = (task, run_system, degraded)
-        return {"id": task.index, "system": run_system, "app": task.app,
-                "graph": task.graph, "sweep": task.sweep,
-                "attempt": attempt}
+        payload = {"id": task.index, "system": run_system, "app": task.app,
+                   "graph": task.graph, "sweep": task.sweep,
+                   "attempt": attempt}
+        if task.index in self._shard_retry:
+            payload["shard_rows"] = self._shard_retry[task.index]
+        return payload
 
     def _task_done(self, task_id: int, row: dict):
         if task_id not in self._inflight:
@@ -472,11 +568,31 @@ class Supervisor(WorkerPool):
         self._committer.offer(task.index, result)
         self.stats["completed"] += 1
 
-    def _task_lost(self, task_id: int, reason: str):
+    def _task_lost(self, task_id: int, reason: str, oom: bool = False):
         if task_id not in self._inflight:
             return  # a prebuild (negative id); the respawn re-warms
         task, run_system, _degraded = self._inflight.pop(task_id)
         self._breakers.record(run_system, ok=False)
+        if oom:
+            # The memory-governor path, separate from generic crash
+            # accounting: the first OOM kill retries the cell once in
+            # sharded mode (the footprint drops to O(shard)); a second
+            # quarantines it as an ``OOM`` cell — the paper's own status
+            # for cells that cannot fit — not a generic PoisonedCell.
+            kills = self._oom_kills.get(task.index, 0) + 1
+            self._oom_kills[task.index] = kills
+            if kills == 1:
+                from repro.sparse.blocked import shard_rows_from_env
+
+                self._shard_retry[task.index] = shard_rows_from_env()
+                self._pending.appendleft(task)
+                self.stats["oom_retried"] += 1
+            else:
+                self._committer.offer(
+                    task.index, _oom_cell(task, kills, reason))
+                self.stats["oom_quarantined"] += 1
+                self.stats["completed"] += 1
+            return
         crashes = self._crashes.get(task.index, 0) + 1
         self._crashes[task.index] = crashes
         if crashes >= self.config.max_crashes:
@@ -493,7 +609,8 @@ class Supervisor(WorkerPool):
         s = self.stats
         parts = [f"{s['tasks']} cells", f"{self.pool_size} workers"]
         for key in ("recalled", "prewarmed", "prewarm_generated", "crashes",
-                    "requeued", "quarantined", "rerouted"):
+                    "requeued", "quarantined", "rerouted", "mem_kills",
+                    "oom_retried", "oom_quarantined"):
             if s[key]:
                 parts.append(f"{s[key]} {key}")
         return "service: " + ", ".join(parts)
@@ -508,4 +625,18 @@ def _poisoned_cell(task: CellTask, crashes: int, reason: str) -> CellResult:
         error={"type": "PoisonedCell",
                "message": f"quarantined after crashing {crashes} "
                           f"worker(s); last failure: {reason}",
+               "traceback": ""})
+
+
+def _oom_cell(task: CellTask, kills: int, reason: str) -> CellResult:
+    """The quarantine record for a cell that OOM-killed its workers even
+    after the sharded retry — an ``OOM`` cell, matching the paper's
+    status for work that cannot fit."""
+    return CellResult(
+        system=task.system, app=task.app, graph=task.graph,
+        status=OOM, seconds=None, mrss_gb=0.0, counters={}, answer=None,
+        thread_sweep={}, attempts=kills,
+        error={"type": "WorkerOOM",
+               "message": f"worker OOM-killed {kills} time(s), including "
+                          f"one sharded retry; last failure: {reason}",
                "traceback": ""})

@@ -24,11 +24,14 @@ what pickle does to numpy scalars.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import time
 
 from repro import faults
 from repro.core import experiments
+from repro.engine import cancel
 from repro.service import chaos, heartbeat
 from repro.service.config import ServiceConfig
 
@@ -99,9 +102,10 @@ def worker_main(conn, worker_id: int) -> None:
         plan.strike(task["system"], task["app"], task["graph"],
                     task["attempt"])
         try:
-            result = experiments.run_cell(
-                task["system"], task["app"], task["graph"],
-                sweep_threads=task["sweep"], use_cache=False)
+            with _task_scope(task):
+                result = experiments.run_cell(
+                    task["system"], task["app"], task["graph"],
+                    sweep_threads=task["sweep"], use_cache=False)
         except faults.FatalFault:
             # The simulated process kill: die like one.  The supervisor
             # sees the exit and requeues the cell.
@@ -109,3 +113,49 @@ def worker_main(conn, worker_id: int) -> None:
         row = json_clean_row(result)
         with beat.lock:
             conn.send((heartbeat.RESULT, worker_id, task["id"], row))
+
+
+@contextlib.contextmanager
+def _task_scope(task: dict):
+    """Apply one task's governor payload around its ``run_cell``.
+
+    Three optional keys, each restored on exit so tasks stay isolated:
+
+    * ``deadline_seconds`` — installs a :class:`CancelToken` with a
+      monotonic deadline; the cell exits cooperatively as ``CANCELLED``
+      at the next OpEvent boundary past its budget.
+    * ``faults`` — a per-job fault-spec string (``REPRO_FAULTS`` syntax)
+      scoped to this one cell, layered over any process-wide plan: how
+      the drills make *one job* slow or memory-hungry deterministically.
+    * ``shard_rows`` — the post-OOM sharded retry: points
+      ``REPRO_SHARD_ROWS`` at the requested geometry and drops this
+      process's dataset cache so the cell rebuilds against O(shard)
+      mmapped loads instead of the monolithic CSR.
+    """
+    from repro.graphs import datasets
+
+    stack = contextlib.ExitStack()
+    with stack:
+        if task.get("deadline_seconds") is not None:
+            token = cancel.CancelToken(
+                deadline=time.monotonic() + task["deadline_seconds"])
+            stack.enter_context(cancel.scope(token))
+        if task.get("faults"):
+            job_plan = faults.plan_from_env(
+                {"REPRO_FAULTS": task["faults"]})
+            if job_plan is not None:
+                stack.enter_context(faults.injected(job_plan))
+        if task.get("shard_rows") is not None:
+            previous = os.environ.get("REPRO_SHARD_ROWS")
+            os.environ["REPRO_SHARD_ROWS"] = str(task["shard_rows"])
+            datasets.clear_cache()
+
+            def _restore(prev=previous):
+                if prev is None:
+                    os.environ.pop("REPRO_SHARD_ROWS", None)
+                else:
+                    os.environ["REPRO_SHARD_ROWS"] = prev
+                datasets.clear_cache()
+
+            stack.callback(_restore)
+        yield

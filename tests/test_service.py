@@ -432,7 +432,7 @@ class TestRunnerStatusSummary:
         assert runner_main(["table2", "--graphs", GRAPH,
                             "--apps", "bfs"]) == 0
         err = capsys.readouterr().err
-        assert "(cells: ok=3 TO=0 OOM=0 ERR=0)" in err
+        assert "(cells: ok=3 TO=0 OOM=0 ERR=0 CANCELLED=0)" in err
 
     def test_strict_fails_on_err_cells(self, isolated_grid, monkeypatch,
                                        capsys):
