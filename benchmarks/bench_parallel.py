@@ -1,0 +1,270 @@
+"""Shard-parallel kernel scaling benchmarks (``REPRO_KERNEL_THREADS``).
+
+A plain script (no pytest tests), like ``bench_governor.py``: run
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--quick]
+
+and it writes ``BENCH_parallel.json`` at the repo root.  Two scaling
+curves over a synthetic >= 1M-edge graph split into 64 row shards:
+
+* ``spmv`` — pagerank's hot kernel: dense-input ``spmv_pull`` over the
+  blocked matrix at 1/2/4 kernel threads;
+* ``spgemm`` — tricount's hot kernel: the masked SDOT SpGEMM
+  ``C<L> = L * L'`` (SandiaDot) at the same widths.
+
+Two assertions gate the run:
+
+* **Byte-identity always**: every thread count must reproduce the
+  monolithic single-thread result bit for bit (values, indices, flops)
+  — the fixed-shard-order merge contract of
+  :mod:`repro.sparse.parallel`.
+* **The speedup floor, when the hardware can show one**: with >= 4
+  usable cores the 4-thread speedup must reach ``FLOOR_FULL`` (1.6x;
+  ``FLOOR_QUICK`` = 1.15x under ``--quick``) on both kernels.  On
+  fewer cores a parallel speedup is physically impossible, so the
+  floor is recorded as skipped and the gate becomes a *bounded
+  overhead* check instead: 4 threads may cost at most
+  ``MAX_OVERSUBSCRIBED_SLOWDOWN`` x the 1-thread time — fanning out
+  must never be catastrophically worse than staying sequential.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_parallel.json"
+
+#: Synthetic graph geometry: 2^17 rows x average degree 8 => ~1.05M
+#: stored edges (>= the 1M-edge bar), split into 64 row shards.
+NROWS = 1 << 17
+DEGREE = 8
+NSHARDS = 64
+
+THREADS = (1, 2, 4)
+
+#: Asserted 4-thread speedup floors (full / --quick), applied on both
+#: kernels when >= 4 cores are usable.
+FLOOR_FULL = 1.6
+FLOOR_QUICK = 1.15
+
+#: With fewer than 4 cores the floor is unprovable; instead the 4-thread
+#: time may be at most this multiple of the 1-thread time.
+MAX_OVERSUBSCRIBED_SLOWDOWN = 2.0
+
+FULL_REPEATS = 5
+QUICK_REPEATS = 2
+FULL_SPMV_ROUNDS = 10
+QUICK_SPMV_ROUNDS = 3
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_graph():
+    """Seeded random graph as (CSR, lower-triangular CSR)."""
+    from repro.sparse.csr import CSRMatrix, INDEX_DTYPE, PTR_DTYPE
+
+    rng = np.random.default_rng(7)
+    rows = np.repeat(np.arange(NROWS, dtype=np.int64), DEGREE)
+    cols = rng.integers(0, NROWS, size=NROWS * DEGREE, dtype=np.int64)
+    keys = np.unique(rows * NROWS + cols)
+    rows = keys // NROWS
+    cols = keys % NROWS
+    values = rng.random(len(keys))
+    counts = np.bincount(rows, minlength=NROWS)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(PTR_DTYPE)
+    A = CSRMatrix(NROWS, NROWS, indptr, cols.astype(INDEX_DTYPE), values)
+
+    lower = cols < rows
+    l_rows, l_cols = rows[lower], cols[lower]
+    l_counts = np.bincount(l_rows, minlength=NROWS)
+    l_indptr = np.concatenate(([0], np.cumsum(l_counts))).astype(PTR_DTYPE)
+    L = CSRMatrix(NROWS, NROWS, l_indptr, l_cols.astype(INDEX_DTYPE), None)
+    return A, L
+
+
+def min_time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_spmv(A_blocked, quick: bool):
+    """Pagerank-style repeated dense pull SpMV; returns (times, results)."""
+    from repro.sparse import parallel
+    from repro.sparse.blocked import spmv_pull
+    from repro.sparse.semiring_ops import BINARY_FNS, MonoidFn
+
+    add = MonoidFn("plus")
+    mult = BINARY_FNS["times"]
+    x = np.linspace(0.5, 1.5, NROWS)
+    rounds = QUICK_SPMV_ROUNDS if quick else FULL_SPMV_ROUNDS
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+
+    times = {}
+    results = {}
+    for threads in THREADS:
+        previous = parallel.set_kernel_threads(threads)
+        try:
+            result = spmv_pull(A_blocked, x, add, mult,
+                               out_dtype=np.float64)  # warm plans/pool
+
+            def run():
+                for _ in range(rounds):
+                    spmv_pull(A_blocked, x, add, mult, out_dtype=np.float64)
+
+            times[threads] = min_time(run, repeats)
+            results[threads] = result
+        finally:
+            parallel.set_kernel_threads(previous)
+    return times, results
+
+
+def bench_spgemm(L_blocked, L, quick: bool):
+    """Tricount-style masked SDOT SpGEMM; returns (times, results)."""
+    from repro.sparse import parallel
+    from repro.sparse.blocked import spgemm_masked_dot
+    from repro.sparse.semiring_ops import BINARY_FNS, MonoidFn
+
+    add = MonoidFn("plus")
+    mult = BINARY_FNS["pair"]
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+
+    times = {}
+    results = {}
+    for threads in THREADS:
+        previous = parallel.set_kernel_threads(threads)
+        try:
+            result = spgemm_masked_dot(L_blocked, L, L, add, mult,
+                                       out_dtype=np.int64)  # warm plans
+
+            def run():
+                spgemm_masked_dot(L_blocked, L, L, add, mult,
+                                  out_dtype=np.int64)
+
+            times[threads] = min_time(run, repeats)
+            results[threads] = result
+        finally:
+            parallel.set_kernel_threads(previous)
+    return times, results
+
+
+def assert_identical_spmv(results, baseline):
+    y0, touched0, flops0 = baseline
+    for threads, (y, touched, flops) in results.items():
+        assert np.array_equal(y, y0), \
+            f"spmv values diverge at {threads} threads"
+        assert np.array_equal(touched, touched0), \
+            f"spmv touched-mask diverges at {threads} threads"
+        assert flops == flops0, f"spmv flops diverge at {threads} threads"
+
+
+def assert_identical_spgemm(results, baseline):
+    C0, work0 = baseline
+    for threads, (C, work) in results.items():
+        assert np.array_equal(C.indptr, C0.indptr), \
+            f"spgemm pattern diverges at {threads} threads"
+        assert np.array_equal(C.indices, C0.indices), \
+            f"spgemm columns diverge at {threads} threads"
+        assert np.array_equal(C.values, C0.values), \
+            f"spgemm values diverge at {threads} threads"
+        assert work == work0, f"spgemm work diverges at {threads} threads"
+
+
+def gate(times, floor: float, cores: int, kernel: str) -> dict:
+    speedup = {t: times[1] / times[t] for t in THREADS}
+    asserted = cores >= 4
+    if asserted:
+        assert speedup[4] >= floor, (
+            f"{kernel}: 4-thread speedup {speedup[4]:.2f}x is under the "
+            f"{floor}x floor (times: {times})")
+    else:
+        slowdown = times[4] / times[1]
+        assert slowdown <= MAX_OVERSUBSCRIBED_SLOWDOWN, (
+            f"{kernel}: 4 threads on {cores} core(s) cost "
+            f"{slowdown:.2f}x the sequential time (> "
+            f"{MAX_OVERSUBSCRIBED_SLOWDOWN}x bound)")
+    return {
+        "times_seconds": {str(t): times[t] for t in THREADS},
+        "speedup": {str(t): round(speedup[t], 3) for t in THREADS},
+        "floor": floor,
+        "floor_asserted": asserted,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats/rounds, the 1.15x floor")
+    args = parser.parse_args(argv)
+
+    import sys
+
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.sparse import spmv as _spmv
+    from repro.sparse import spgemm as _spgemm
+    from repro.sparse.blocked import BlockedCSR
+    from repro.sparse.semiring_ops import BINARY_FNS, MonoidFn
+
+    cores = usable_cores()
+    quick = bool(args.quick)
+    floor = FLOOR_QUICK if quick else FLOOR_FULL
+    print(f"bench_parallel: {NROWS} rows, ~{NROWS * DEGREE} edges, "
+          f"{NSHARDS} shards, {cores} usable core(s), "
+          f"{'quick' if quick else 'full'} mode")
+
+    A, L = build_graph()
+    shard_rows = -(-NROWS // NSHARDS)
+    A_blocked = BlockedCSR.from_csr(A, shard_rows=shard_rows)
+    L_blocked = BlockedCSR.from_csr(L, shard_rows=shard_rows)
+
+    # Monolithic single-thread baselines: what every fan-out must match.
+    x = np.linspace(0.5, 1.5, NROWS)
+    spmv_base = _spmv.spmv_pull(A, x, MonoidFn("plus"),
+                                BINARY_FNS["times"], out_dtype=np.float64)
+    spgemm_base = _spgemm.spgemm_masked_dot(
+        L, L, L, MonoidFn("plus"), BINARY_FNS["pair"], out_dtype=np.int64)
+
+    spmv_times, spmv_results = bench_spmv(A_blocked, quick)
+    assert_identical_spmv(spmv_results, spmv_base)
+    spmv_report = gate(spmv_times, floor, cores, "spmv")
+    print(f"  spmv    speedups: {spmv_report['speedup']}")
+
+    spgemm_times, spgemm_results = bench_spgemm(L_blocked, L, quick)
+    assert_identical_spgemm(spgemm_results, spgemm_base)
+    spgemm_report = gate(spgemm_times, floor, cores, "spgemm")
+    print(f"  spgemm  speedups: {spgemm_report['speedup']}")
+
+    triangles = int(spgemm_base[0].values.sum()
+                    if spgemm_base[0].values is not None else 0)
+    report = {
+        "graph": {"nrows": NROWS, "edges": int(A.nvals),
+                  "shards": NSHARDS, "triangles_x3": triangles},
+        "cores": cores,
+        "mode": "quick" if quick else "full",
+        "byte_identical": True,
+        "spmv": spmv_report,
+        "spgemm": spgemm_report,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=1, sort_keys=True)
+                        + "\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

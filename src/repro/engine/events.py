@@ -47,7 +47,7 @@ _METHODS = ("", "saxpy", "dot")
 #: Fields validated as non-negative counts.
 _COUNT_FIELDS = ("items", "flops", "bytes_materialized", "loops",
                  "round_id", "in_nvals", "out_nvals", "mask_bytes",
-                 "bytes_not_materialized")
+                 "bytes_not_materialized", "shards", "threads")
 
 
 @dataclass(frozen=True)
@@ -99,6 +99,13 @@ class OpEvent:
     #: Bytes of intermediate storage the fused execution did not write and
     #: re-read (wall-clock attribution only; 0 for unfused operations).
     bytes_not_materialized: int = 0
+    #: Shard count of a blocked kernel fan-out (0 for monolithic kernels).
+    #: Like ``seconds`` elsewhere, wall-clock observability only: no charge
+    #: handler reads these, so modeled accounting is identical at every
+    #: fan-out geometry.
+    shards: int = 0
+    #: Kernel threads the fan-out actually used (0 for monolithic kernels).
+    threads: int = 0
 
     def __post_init__(self):
         if self.kind not in OP_KINDS:

@@ -36,6 +36,7 @@ from repro.graphblas.descriptor import DEFAULT_DESC, Descriptor, GrB_ALL
 from repro.graphblas.matrix import Matrix
 from repro.graphblas.ops import BinaryOp, Monoid, Semiring, UnaryOp
 from repro.graphblas.vector import Vector
+from repro.sparse import parallel as _parallel
 from repro.sparse import spgemm as _spgemm
 from repro.sparse import spmv as _spmv
 from repro.sparse.csr import CSRMatrix
@@ -173,6 +174,7 @@ def mxv(
 
     u_idx, u_vals = u.to_pairs()
     dense_input = len(u_idx) == u.size
+    _parallel.clear_fanout()
     if dense_input:
         # Pull (SDOT): iterate output rows, dot with the dense input.
         y_vals, touched, flops = _spmv.spmv_pull(
@@ -202,6 +204,7 @@ def mxv(
         kind="mxv", items=len(u_idx), flops=flops, mode=mode,
         masked=mask is not None, in_nvals=len(u_idx), out_nvals=w.nvals,
         mask_bytes=_mask_dense_bytes(mask),
+        **_parallel.fanout_fields(),
     ), out=w, mat=A, weights=weights)
     return w
 
@@ -226,6 +229,7 @@ def vxm(
 
     u_idx, u_vals = u.to_pairs()
     dense_input = len(u_idx) == u.size
+    _parallel.clear_fanout()
     if dense_input:
         # Pull over columns: dot rows of A-transpose with dense u, with the
         # multiply order swapped back to (u, A).
@@ -253,6 +257,7 @@ def vxm(
         kind="vxm", items=len(u_idx), flops=flops, mode=mode,
         masked=mask is not None, in_nvals=len(u_idx), out_nvals=w.nvals,
         mask_bytes=_mask_dense_bytes(mask),
+        **_parallel.fanout_fields(),
     ), out=w, mat=A, weights=weights)
     return w
 
@@ -304,6 +309,7 @@ def mxm(
         return C
 
     chosen = method or C.backend.choose_mxm_method(a_csr, b_csr, mask)
+    _parallel.clear_fanout()
     if mask is not None:
         if chosen == "dot":
             # SDOT wants B transposed; reuse the cache when possible.
@@ -323,6 +329,7 @@ def mxm(
     C.backend.emit(OpEvent(
         kind="mxm", items=result.nvals, flops=flops, method=chosen,
         masked=mask is not None, out_nvals=result.nvals,
+        **_parallel.fanout_fields(),
     ), out=C, mat=A, mat2=B)
     return C
 

@@ -43,6 +43,7 @@ from repro.graphblas.descriptor import DEFAULT_DESC, Descriptor, GrB_ALL
 from repro.graphblas.matrix import Matrix
 from repro.graphblas.ops import Monoid, Semiring, UnaryOp
 from repro.graphblas.vector import Vector
+from repro.sparse import parallel as _parallel
 from repro.sparse import plancache
 from repro.sparse import spmv as _spmv
 from repro.sparse.segreduce import segment_reduce
@@ -325,6 +326,7 @@ class FusedPipeline:
         dtype = w.type.dtype
         at = A.transposed_csr()
         x = u._values  # dense input: every position is explicit
+        _parallel.clear_fanout()
         if mult.name == "first":
             # PLUS_FIRST-style pull (PageRank): the swapped multiply is
             # "second", whose result is exactly the gathered input —
@@ -366,6 +368,7 @@ class FusedPipeline:
             kind="vxm", items=u.size, flops=flops, mode="pull",
             masked=False, in_nvals=u.size, out_nvals=w.nvals,
             fused=True, bytes_not_materialized=saved,
+            **_parallel.fanout_fields(),
         ), out=w, mat=A, weights=weights)
         return w
 
@@ -374,6 +377,7 @@ class FusedPipeline:
         dtype = w.type.dtype
         csr = A.csr
         u_vals = u._values[u_idx]
+        _parallel.clear_fanout()
         y_idx, y_vals, flops = _spmv.vxm_push(csr, u_idx, u_vals,
                                               add.fn, mult, out_dtype=dtype)
         t_vals = np.zeros(w.size, dtype=dtype)
@@ -389,6 +393,7 @@ class FusedPipeline:
             kind="vxm", items=len(u_idx), flops=flops, mode="push",
             masked=False, in_nvals=len(u_idx), out_nvals=w.nvals,
             fused=True, bytes_not_materialized=saved,
+            **_parallel.fanout_fields(),
         ), out=w, mat=A, weights=weights)
         return w
 
@@ -399,6 +404,7 @@ class FusedPipeline:
         csr = A.csr
         # Extract the frontier before mutating w: the drivers pass w is u.
         u_vals = u._values[u_idx]
+        _parallel.clear_fanout()
         y_idx, y_vals, flops = _spmv.vxm_push(csr, u_idx, u_vals,
                                               add.fn, mult, out_dtype=dtype)
         if desc.mask_structure:
@@ -424,6 +430,7 @@ class FusedPipeline:
             masked=True, in_nvals=len(u_idx), out_nvals=w.nvals,
             mask_bytes=mask.size * mask.type.itemsize,
             fused=True, bytes_not_materialized=saved,
+            **_parallel.fanout_fields(),
         ), out=w, mat=A, weights=weights)
         return w
 

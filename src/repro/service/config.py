@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro import errors
+from repro.sparse.parallel import kernel_threads_from_env
 
 #: Default seconds between worker heartbeats.
 DEFAULT_HEARTBEAT_INTERVAL = 0.25
@@ -84,6 +85,14 @@ DEFAULT_CANCEL_GRACE = 5.0
 #: finish before failing them back to the queue.
 DEFAULT_DRAIN_GRACE = 30.0
 
+#: Default total-cores budget split between cell workers and kernel
+#: threads; 0 = budgeting off (workers and threads taken as requested).
+DEFAULT_CORES_BUDGET = 0
+
+#: Default kernel threads per worker (``REPRO_KERNEL_THREADS``); 1 = the
+#: sequential shard loop.
+DEFAULT_KERNEL_THREADS = 1
+
 #: Every complete REPRO_* knob name any part of the harness reads — the
 #: source of truth for :func:`validate_env_knobs`.  A lint-style test
 #: (tests/test_env_knobs_doc.py) asserts this set matches the knobs the
@@ -126,6 +135,8 @@ KNOWN_KNOBS = frozenset({
     "REPRO_QUEUE_MAX_WAIT",
     "REPRO_CANCEL_GRACE",
     "REPRO_DRAIN_GRACE",
+    "REPRO_KERNEL_THREADS",
+    "REPRO_CORES_BUDGET",
 })
 
 
@@ -240,6 +251,12 @@ class ServiceConfig:
     #: Seconds a draining supervisor waits for in-flight jobs before
     #: failing them back to the queue.
     drain_grace: float = DEFAULT_DRAIN_GRACE
+    #: Total cores split between cell workers and per-worker kernel
+    #: threads (``REPRO_CORES_BUDGET``); 0 = budgeting off.
+    cores_budget: int = DEFAULT_CORES_BUDGET
+    #: Kernel threads each worker fans shard tasks over
+    #: (``REPRO_KERNEL_THREADS``); 1 = the sequential shard loop.
+    kernel_threads: int = DEFAULT_KERNEL_THREADS
 
     @property
     def mem_budget_bytes(self) -> int:
@@ -266,6 +283,13 @@ class ServiceConfig:
                 f"{self.mem_budget_mb}")
         if self.cancel_grace <= 0 or self.drain_grace <= 0:
             raise errors.InvalidValue("cancel/drain grace must be > 0")
+        if self.cores_budget < 0:
+            raise errors.InvalidValue(
+                "cores budget must be >= 0 (0 = off); got "
+                f"{self.cores_budget}")
+        if self.kernel_threads < 1:
+            raise errors.InvalidValue(
+                f"kernel threads must be >= 1; got {self.kernel_threads}")
 
     @classmethod
     def from_env(cls, environ: Optional[dict] = None) -> "ServiceConfig":
@@ -304,6 +328,9 @@ class ServiceConfig:
                 env, "REPRO_CANCEL_GRACE", DEFAULT_CANCEL_GRACE),
             drain_grace=_positive_float(
                 env, "REPRO_DRAIN_GRACE", DEFAULT_DRAIN_GRACE),
+            cores_budget=_nonnegative_int(
+                env, "REPRO_CORES_BUDGET", DEFAULT_CORES_BUDGET),
+            kernel_threads=kernel_threads_from_env(env),
         )
 
 

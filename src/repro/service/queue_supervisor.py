@@ -416,6 +416,7 @@ class QueueSupervisor(WorkerPool):
             for h in self._workers.values()])
         if self._breakers is not None:
             self.queue.set_meta("breakers", self._breakers.states())
+        self.queue.set_meta("cores", self.cores_split)
         self.queue.set_meta("supervisor", {
             "owner": self.owner, "draining": self._draining,
             "stats": {k: v for k, v in self.stats.items() if v}})

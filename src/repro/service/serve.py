@@ -132,6 +132,7 @@ def _dispatch(args) -> int:
                          queue.jobs(tenant=args.tenant, state=DEAD)],
                 "workers": queue.get_meta("workers", default=[]),
                 "breakers": queue.get_meta("breakers", default={}),
+                "cores": queue.get_meta("cores", default={}),
                 "supervisor": queue.get_meta("supervisor", default={}),
             }
             print(json.dumps(status, sort_keys=True))

@@ -144,9 +144,21 @@ class WorkerPool:
 
     def __init__(self, workers: int,
                  config: Optional[ServiceConfig] = None):
-        self.pool_size = max(1, int(workers))
         self.config = config if config is not None else \
             ServiceConfig.from_env()
+        # Cores-aware sizing: under REPRO_CORES_BUDGET the pool never
+        # claims more than budget cores across both parallelism levels
+        # (workers x kernel threads); without one, the request stands.
+        requested = max(1, int(workers))
+        self.pool_size, self.kernel_threads = governor.split_cores(
+            requested, self.config.kernel_threads, self.config.cores_budget)
+        #: The live cores split, published by ``repro-serve status``.
+        self.cores_split = {
+            "budget": int(self.config.cores_budget),
+            "requested_workers": requested,
+            "workers": self.pool_size,
+            "kernel_threads": self.kernel_threads,
+        }
         # Parsed in the supervisor purely to fail fast on malformed specs;
         # the plan itself strikes inside the workers (who re-read the env).
         ChaosPlan.from_env()
@@ -417,6 +429,11 @@ class WorkerPool:
             self._reap(handle, "worker died (send failed)")
 
     def _send_run(self, handle: _WorkerHandle, payload: dict):
+        # Stamp the (possibly budget-clamped) kernel-thread count onto
+        # every task when it differs from the default, so workers fan
+        # shard kernels out at exactly the width the split allows.
+        if self.kernel_threads != 1 and "kernel_threads" not in payload:
+            payload = dict(payload, kernel_threads=self.kernel_threads)
         # A job-propagated deadline becomes the hard-kill backstop:
         # cooperative cancellation gets the budget plus the grace window
         # to exit cleanly before the watchdog falls back to SIGKILL.

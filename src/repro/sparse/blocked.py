@@ -34,6 +34,16 @@ and delegate here, so callers never need to know which storage they hold.
 ``REPRO_SHARD_ROWS`` sets the default shard geometry (rows per shard); the
 default keeps every built-in study graph in a single shard, which makes
 ``to_csr()`` a zero-copy view over the (possibly mmap-backed) shard arrays.
+
+``REPRO_KERNEL_THREADS`` fans the shard loops below out over the
+persistent thread pool of :mod:`repro.sparse.parallel` (the shard kernels
+are numpy-bound and release the GIL).  Partials always merge in fixed
+shard order, so the result bytes are independent of the thread count;
+every shard task starts with a :func:`repro.engine.cancel.check`, so a
+tripped deadline stops a long SpGEMM at the next shard boundary instead
+of the next OpEvent boundary.  Shard-task plan memos key on each shard's
+own ``_plan_cache`` slot; the shared right-hand operands' memos are
+guarded by the plan cache's lock (see :mod:`repro.sparse.plancache`).
 """
 
 from __future__ import annotations
@@ -45,7 +55,9 @@ import numpy as np
 
 import repro.sparse.spgemm as _spgemm
 import repro.sparse.spmv as _spmv
+from repro.engine import cancel
 from repro.errors import DimensionMismatch, InvalidValue
+from repro.sparse import parallel
 from repro.sparse.csr import CSRMatrix, INDEX_DTYPE, PTR_DTYPE
 from repro.sparse.segreduce import group_reduce, segment_reduce
 
@@ -263,21 +275,29 @@ class BlockedCSR:
         ``values`` is entry-aligned over the whole matrix (defaults to the
         stored values / implicit ones); each shard reduces through
         :func:`repro.sparse.segreduce.segment_reduce` with its own
-        ``indptr`` as ``row_splits``, so the working set is one shard.
+        ``indptr`` as ``row_splits``, so the working set is one shard
+        per kernel thread.
         """
         dtype = np.dtype(dtype)
-        out = []
-        offset = 0
-        for shard in self.shards:
+        offsets = np.concatenate(
+            ([0], np.cumsum([shard.nnz for shard in self.shards])))
+
+        def task(entry):
+            shard, offset = entry
+            cancel.check()
             csr = shard.csr
             if values is None:
                 vals = csr.value_array(dtype)
             else:
                 vals = values[offset:offset + shard.nnz]
-            out.append(segment_reduce(vals, None, csr.nrows, monoid,
-                                      dtype=dtype, row_splits=csr.indptr,
-                                      cache_on=csr))
-            offset += shard.nnz
+            return segment_reduce(vals, None, csr.nrows, monoid,
+                                  dtype=dtype, row_splits=csr.indptr,
+                                  cache_on=csr)
+
+        threads = parallel.effective_threads(self.nshards)
+        out = parallel.map_shards(task, zip(self.shards, offsets),
+                                  threads=threads)
+        parallel.record_fanout(self.nshards, threads)
         return np.concatenate(out) if len(out) > 1 else out[0]
 
     def to_csr(self) -> CSRMatrix:
@@ -343,21 +363,27 @@ def spmv_pull(A: BlockedCSR, x: np.ndarray, add, mult, out_dtype=None,
 
     Rows reduce independently, so per-shard outputs concatenate to the
     monolithic result bit for bit while the working set (the products
-    array) is O(shard).  ``release=True`` drops each lazy shard's mmap
-    after its rows are done — the streaming, O(shard)-resident sweep.
+    array) is O(shard) per thread.  ``release=True`` drops each lazy
+    shard's mmap after its rows are done — the streaming sweep stays
+    O(threads x shard) resident.
     """
-    ys = []
-    touched = []
-    flops = 0
-    for shard in A.iter_shards(release=release):
-        y, t, f = _spmv.spmv_pull(shard.csr, x, add, mult,
-                                  out_dtype=out_dtype)
-        ys.append(y)
-        touched.append(t)
-        flops += f
-    if len(ys) == 1:
-        return ys[0], touched[0], flops
-    return np.concatenate(ys), np.concatenate(touched), flops
+    def task(shard):
+        cancel.check()
+        try:
+            return _spmv.spmv_pull(shard.csr, x, add, mult,
+                                   out_dtype=out_dtype)
+        finally:
+            if release:
+                shard.release()
+
+    threads = parallel.effective_threads(A.nshards)
+    parts = parallel.map_shards(task, A.shards, threads=threads)
+    parallel.record_fanout(A.nshards, threads)
+    flops = sum(part[2] for part in parts)
+    if len(parts) == 1:
+        return parts[0][0], parts[0][1], flops
+    return (np.concatenate([part[0] for part in parts]),
+            np.concatenate([part[1] for part in parts]), flops)
 
 
 def vxm_push(A: BlockedCSR, x_idx: np.ndarray, x_vals: np.ndarray,
@@ -378,28 +404,37 @@ def vxm_push(A: BlockedCSR, x_idx: np.ndarray, x_vals: np.ndarray,
         x_idx, [shard.row_start for shard in A.shards], side="left")
     stops = np.searchsorted(
         x_idx, [shard.row_stop for shard in A.shards], side="left")
-    chunks_cols = []
-    chunks_products = []
-    flops = 0
-    for shard, lo, hi in zip(A.shards, starts, stops):
+
+    def task(entry):
+        shard, lo, hi = entry
+        cancel.check()
         if hi == lo:
             if release:
                 shard.release()
-            continue
-        csr = shard.csr
-        local_idx = x_idx[lo:hi] - shard.row_start
-        cols, positions, seg = _spmv.gather_rows(csr, local_idx)
-        if len(cols):
+            return None
+        try:
+            csr = shard.csr
+            local_idx = x_idx[lo:hi] - shard.row_start
+            cols, positions, seg = _spmv.gather_rows(csr, local_idx)
+            if not len(cols):
+                return None
             a_vals = (np.ones(len(cols), dtype=out_dtype)
                       if csr.values is None
                       else csr.values[positions].astype(out_dtype,
                                                         copy=False))
             seg_vals = x_vals[lo:hi][seg].astype(out_dtype, copy=False)
-            chunks_cols.append(cols.astype(np.int64))
-            chunks_products.append(mult.apply(seg_vals, a_vals))
-            flops += len(cols)
-        if release:
-            shard.release()
+            return cols.astype(np.int64), mult.apply(seg_vals, a_vals)
+        finally:
+            if release:
+                shard.release()
+
+    threads = parallel.effective_threads(A.nshards)
+    parts = parallel.map_shards(task, zip(A.shards, starts, stops),
+                                threads=threads)
+    parallel.record_fanout(A.nshards, threads)
+    chunks_cols = [part[0] for part in parts if part is not None]
+    chunks_products = [part[1] for part in parts if part is not None]
+    flops = sum(len(chunk) for chunk in chunks_cols)
     if not chunks_cols:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.astype(out_dtype), 0
@@ -443,14 +478,21 @@ def spgemm_saxpy(A: BlockedCSR, B: CSRMatrix, add, mult,
     monolithic kernel already batches by whole rows), so stacking the
     per-shard blocks is bit-identical to the monolithic product.
     """
-    blocks = []
-    flops = 0
-    for shard in A.iter_shards(release=release):
-        C, f = _spgemm.spgemm_saxpy(shard.csr, B, add, mult,
-                                    out_dtype=out_dtype,
-                                    batch_flops=batch_flops)
-        blocks.append(C)
-        flops += f
+    def task(shard):
+        cancel.check()
+        try:
+            return _spgemm.spgemm_saxpy(shard.csr, B, add, mult,
+                                        out_dtype=out_dtype,
+                                        batch_flops=batch_flops)
+        finally:
+            if release:
+                shard.release()
+
+    threads = parallel.effective_threads(A.nshards)
+    parts = parallel.map_shards(task, A.shards, threads=threads)
+    parallel.record_fanout(A.nshards, threads)
+    blocks = [part[0] for part in parts]
+    flops = sum(part[1] for part in parts)
     if len(blocks) == 1:
         return blocks[0], flops
     return _stack_row_blocks(blocks, A.nrows, B.ncols), flops
@@ -467,14 +509,23 @@ def spgemm_masked_dot(A: BlockedCSR, Bt: CSRMatrix, mask: CSRMatrix,
     """
     if A.nrows != mask.nrows:
         raise DimensionMismatch("mask rows must match A rows")
-    blocks = []
-    work = 0
-    for shard in A.iter_shards(release=release):
-        mask_block = row_slice(mask, shard.row_start, shard.row_stop)
-        C, w = _spgemm.spgemm_masked_dot(shard.csr, Bt, mask_block, add,
-                                         mult, out_dtype=out_dtype)
-        blocks.append(C)
-        work += w
+
+    def task(shard):
+        cancel.check()
+        try:
+            mask_block = row_slice(mask, shard.row_start, shard.row_stop)
+            return _spgemm.spgemm_masked_dot(shard.csr, Bt, mask_block,
+                                             add, mult,
+                                             out_dtype=out_dtype)
+        finally:
+            if release:
+                shard.release()
+
+    threads = parallel.effective_threads(A.nshards)
+    parts = parallel.map_shards(task, A.shards, threads=threads)
+    parallel.record_fanout(A.nshards, threads)
+    blocks = [part[0] for part in parts]
+    work = sum(part[1] for part in parts)
     if len(blocks) == 1:
         return blocks[0], work
     return _stack_row_blocks(blocks, A.nrows, mask.ncols), work

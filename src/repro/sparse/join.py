@@ -40,6 +40,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.engine import cancel
 from repro.errors import DimensionMismatch, InvalidValue
 from repro.sparse import plancache
 from repro.sparse.csr import CSRMatrix, expand_ranges, gather_rows
@@ -189,7 +190,14 @@ def row_pair_join(
     # configuration replay it without re-deriving the batch statistics.
     # Both plans produce identical outputs (module invariant), so the
     # sticky replay — like an explicit ``plan`` — can never change results.
-    plan_key = (a_keep is None, b_keep is None, int(batch_flops))
+    # The key includes the pair count's density decile relative to A's row
+    # count: a near-diagonal mask (few pairs) and a dense mask (~nrows
+    # pairs or more) have opposite merge-vs-densify economics, so each
+    # decile keeps its own sticky slot instead of one mask shape deciding
+    # for all of them.
+    density_decile = int(min(9, (10 * n_pairs) // max(1, A.nrows)))
+    plan_key = (a_keep is None, b_keep is None, int(batch_flops),
+                density_decile)
     forced = plan if plan is not None else plancache.get(A, "join_plan",
                                                          plan_key)
     batch_choices = [] if forced is None else None
@@ -205,6 +213,9 @@ def row_pair_join(
     n_act = len(act_idx)
     lo = 0
     while lo < n_act:
+        # A tripped deadline stops a long join at the next flop-bounded
+        # batch (~2M gathered candidates), not only at the next OpEvent.
+        cancel.check()
         # Largest hi keeping the gathered batch within budget (>= 1 pair).
         target = cum[lo] + batch_flops
         hi = int(np.searchsorted(cum, target, side="right")) - 1

@@ -21,6 +21,15 @@ Import-order note: :mod:`repro.sparse.csr` imports ``segreduce`` which
 imports this module, so this module imports neither — hosts are duck-typed
 on the ``_plan_cache`` slot.
 
+Thread discipline: the shard-parallel executor
+(:mod:`repro.sparse.parallel`) runs shard tasks concurrently, and while
+each shard keys its plans on its *own* ``_plan_cache`` slot, the shared
+right-hand operands (SpGEMM's ``B``/``Bt``) are hosts too — two shard
+tasks can race to create the same host's cache dict or to count the same
+entry.  One module lock serializes every cache/stats mutation; lookups
+and stores are per-kernel-call (never per-element), so the uncontended
+lock costs nanoseconds against kernels that run milliseconds.
+
 Knobs:
 
 * ``REPRO_PLAN_CACHE=0`` disables all lookups (plans re-derived per call);
@@ -31,6 +40,7 @@ Knobs:
 from __future__ import annotations
 
 import os
+import threading
 from typing import Callable, Dict, Optional
 
 __all__ = [
@@ -42,6 +52,10 @@ _ENABLED = os.environ.get("REPRO_PLAN_CACHE", "1") != "0"
 
 #: Per-kernel lookup bookkeeping: kernel -> {"hits", "misses", "entries"}.
 _STATS: Dict[str, Dict[str, int]] = {}
+
+#: Serializes cache-dict creation and stats mutation across the kernel
+#: threads of :mod:`repro.sparse.parallel` (see the module docstring).
+_LOCK = threading.Lock()
 
 
 def enabled() -> bool:
@@ -75,16 +89,17 @@ def get(host, kernel: str, key):
     """
     if not _ENABLED or host is None:
         return None
-    cache = getattr(host, "_plan_cache", None)
-    if cache is None:
-        _bucket(kernel)["misses"] += 1
-        return None
-    value = cache.get((kernel, key))
-    if value is None:
-        _bucket(kernel)["misses"] += 1
-        return None
-    _bucket(kernel)["hits"] += 1
-    return value
+    with _LOCK:
+        cache = getattr(host, "_plan_cache", None)
+        if cache is None:
+            _bucket(kernel)["misses"] += 1
+            return None
+        value = cache.get((kernel, key))
+        if value is None:
+            _bucket(kernel)["misses"] += 1
+            return None
+        _bucket(kernel)["hits"] += 1
+        return value
 
 
 def put(host, kernel: str, key, value) -> None:
@@ -93,12 +108,13 @@ def put(host, kernel: str, key, value) -> None:
         return
     if not hasattr(host, "_plan_cache"):
         return
-    cache = host._plan_cache
-    if cache is None:
-        cache = host._plan_cache = {}
-    if (kernel, key) not in cache:
-        _bucket(kernel)["entries"] += 1
-    cache[(kernel, key)] = value
+    with _LOCK:
+        cache = host._plan_cache
+        if cache is None:
+            cache = host._plan_cache = {}
+        if (kernel, key) not in cache:
+            _bucket(kernel)["entries"] += 1
+        cache[(kernel, key)] = value
 
 
 def cached(host, kernel: str, key, derive: Callable):
@@ -119,12 +135,13 @@ def cached(host, kernel: str, key, derive: Callable):
 
 def drop(host) -> None:
     """Forget every plan cached on ``host`` (structural invalidation)."""
-    cache = getattr(host, "_plan_cache", None)
-    if cache:
-        for kernel, _key in cache:
-            _bucket(kernel)["entries"] -= 1
-    if cache is not None:
-        host._plan_cache = None
+    with _LOCK:
+        cache = getattr(host, "_plan_cache", None)
+        if cache:
+            for kernel, _key in cache:
+                _bucket(kernel)["entries"] -= 1
+        if cache is not None:
+            host._plan_cache = None
 
 
 def plan_cache_stats() -> Dict[str, Dict[str, int]]:

@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.engine import cancel
 from repro.errors import DimensionMismatch
 from repro.sparse.csr import CSRMatrix, INDEX_DTYPE, PTR_DTYPE, gather_rows
 from repro.sparse.join import cast_values, masked_row_join
@@ -78,6 +79,9 @@ def spgemm_saxpy(
     row_lo = 0
     cum = np.concatenate(([0], np.cumsum(row_flops)))
     while row_lo < A.nrows:
+        # A tripped deadline cancels a long SpGEMM at the next flop-bounded
+        # batch, not only at the next OpEvent boundary.
+        cancel.check()
         # Largest row_hi such that batch flops stay within budget (always >= 1 row).
         target = cum[row_lo] + batch_flops
         row_hi = int(np.searchsorted(cum, target, side="right")) - 1

@@ -214,6 +214,148 @@ class TestGovernorPolicy:
 
 
 # ----------------------------------------------------------------------
+# Cores budgeting: workers x kernel threads <= REPRO_CORES_BUDGET
+# ----------------------------------------------------------------------
+class TestCoresBudget:
+    def test_split_cores_passthrough_without_budget(self):
+        assert governor.split_cores(8, 4, 0) == (8, 4)
+        assert governor.split_cores(8, 4, -1) == (8, 4)
+
+    def test_split_cores_kernel_threads_win_the_tie(self):
+        # Budget 8, request 4x4: threads keep their width, workers yield.
+        assert governor.split_cores(4, 4, 8) == (2, 4)
+        assert governor.split_cores(8, 2, 8) == (4, 2)
+        # Threads alone exceed the budget: clamp them, one worker.
+        assert governor.split_cores(4, 16, 8) == (1, 8)
+        assert governor.split_cores(1, 1, 1) == (1, 1)
+
+    def test_split_cores_never_oversubscribes(self):
+        # The acceptance invariant: under any budget > 0 the product of
+        # the two parallelism levels never exceeds it, and neither level
+        # collapses below 1 or above its request.
+        for workers in (1, 2, 3, 8):
+            for threads in (1, 2, 5, 16):
+                for budget in (1, 2, 4, 7, 12):
+                    w, t = governor.split_cores(workers, threads, budget)
+                    assert w * t <= budget, (workers, threads, budget)
+                    assert 1 <= w <= workers
+                    assert 1 <= t <= max(threads, budget)
+
+    def test_worker_pool_clamps_and_records_split(self, tmp_path):
+        queue = JobQueue(tmp_path / "q.db", QueueConfig())
+        config = ServiceConfig(cores_budget=4, kernel_threads=2)
+        supervisor = QueueSupervisor(queue, workers=8, config=config,
+                                     owner="cores")
+        assert (supervisor.pool_size, supervisor.kernel_threads) == (2, 2)
+        assert supervisor.pool_size * supervisor.kernel_threads <= 4
+        assert supervisor.cores_split == {
+            "budget": 4, "requested_workers": 8,
+            "workers": 2, "kernel_threads": 2}
+        queue.close()
+
+    def test_worker_pool_without_budget_keeps_request(self, tmp_path):
+        queue = JobQueue(tmp_path / "q.db", QueueConfig())
+        supervisor = QueueSupervisor(queue, workers=3, config=FAST,
+                                     owner="cores")
+        assert (supervisor.pool_size, supervisor.kernel_threads) == (3, 1)
+        queue.close()
+
+    def test_config_reads_both_knobs(self):
+        config = ServiceConfig.from_env({"REPRO_CORES_BUDGET": "8",
+                                         "REPRO_KERNEL_THREADS": "4"})
+        assert config.cores_budget == 8
+        assert config.kernel_threads == 4
+        with pytest.raises(errors.InvalidValue):
+            ServiceConfig.from_env({"REPRO_CORES_BUDGET": "-1"})
+        with pytest.raises(errors.InvalidValue):
+            ServiceConfig.from_env({"REPRO_KERNEL_THREADS": "0"})
+
+    def test_task_scope_sets_and_restores_kernel_threads_env(
+            self, monkeypatch):
+        from repro.service.worker import _task_scope
+
+        monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
+        with _task_scope({"kernel_threads": 4}):
+            assert os.environ["REPRO_KERNEL_THREADS"] == "4"
+        assert "REPRO_KERNEL_THREADS" not in os.environ
+
+    def test_publish_status_exposes_cores_split(self, tmp_path, capsys):
+        q = tmp_path / "q.db"
+        queue = JobQueue(q, QueueConfig())
+        config = ServiceConfig(cores_budget=4, kernel_threads=2)
+        supervisor = QueueSupervisor(queue, workers=8, config=config,
+                                     owner="cores")
+        supervisor._publish_status()
+        queue.close()
+        assert serve_main(["status", "--queue", str(q), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["cores"] == {
+            "budget": 4, "requested_workers": 8,
+            "workers": 2, "kernel_threads": 2}
+
+
+# ----------------------------------------------------------------------
+# Deadline trips mid-kernel (between shard tasks / flop batches)
+# ----------------------------------------------------------------------
+class TestMidKernelDeadline:
+    """A tripped deadline must stop a long SpGEMM *inside* the kernel —
+    between shard tasks or flop batches — not wait for the next OpEvent
+    boundary that a multi-second kernel may never reach in time."""
+
+    def _operands(self, shard_rows=16):
+        import scipy.sparse as sp
+        from repro.sparse.blocked import BlockedCSR
+        from repro.sparse.csr import build_csr
+
+        def rand(seed):
+            coo = sp.random(160, 160, density=0.05,
+                            random_state=seed).tocoo()
+            return build_csr(160, 160, coo.row, coo.col, coo.data)
+
+        A, B = rand(41), rand(42)
+        return A, BlockedCSR.from_csr(A, shard_rows=shard_rows), B
+
+    def _clock_burning_mult(self, clock):
+        import numpy as np
+        from repro.sparse.semiring_ops import BINARY_FNS
+
+        def slow_mult(a, b):
+            # Each multiply burns fake seconds; the deadline trips inside
+            # the first shard/batch and the *next* entry check raises.
+            clock.advance(10.0)
+            return np.multiply(a, b)
+
+        return BINARY_FNS["times"].__class__("times", slow_mult)
+
+    def test_deadline_cancels_between_shard_tasks(self):
+        from repro.sparse.semiring_ops import MONOID_FNS
+        from repro.sparse.spgemm import spgemm_saxpy
+
+        _, A_blocked, B = self._operands()
+        clock = FakeClock(now=100.0)
+        token = cancel.CancelToken(deadline=101.0, clock=clock)
+        mult = self._clock_burning_mult(clock)
+        with cancel.scope(token):
+            with pytest.raises(errors.Cancelled):
+                spgemm_saxpy(A_blocked, B, MONOID_FNS["plus"], mult)
+
+    def test_deadline_cancels_between_flop_batches_monolithic(self):
+        from repro.sparse.semiring_ops import MONOID_FNS
+        from repro.sparse.spgemm import spgemm_saxpy
+
+        A, _, B = self._operands()
+        clock = FakeClock(now=100.0)
+        token = cancel.CancelToken(deadline=101.0, clock=clock)
+        mult = self._clock_burning_mult(clock)
+        with cancel.scope(token):
+            with pytest.raises(errors.Cancelled):
+                # A tiny flop budget forces many batches, so the per-batch
+                # check fires long before the kernel would finish.
+                spgemm_saxpy(A, B, MONOID_FNS["plus"], mult,
+                             batch_flops=64)
+
+
+# ----------------------------------------------------------------------
 # Queue deadline column (fake clock, no workers)
 # ----------------------------------------------------------------------
 class TestQueueDeadline:
@@ -438,6 +580,7 @@ class TestGovernorCLI:
         # Nobody has drained yet: the published snapshot is empty but
         # present, so dashboards need no schema special-casing.
         assert status["workers"] == [] and status["breakers"] == {}
+        assert status["cores"] == {}
         assert status["dead"] == []
 
 
